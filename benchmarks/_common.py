@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_e*.py`` reproduces one experiment from DESIGN.md's index:
+it computes the experiment's table, *asserts the reproduction criteria*
+(the shape claims: who wins, what slope, which bound holds), stores the
+rendered table under ``benchmarks/results/`` for EXPERIMENTS.md, and
+times its core kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.experiments import Table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_table(name: str, table: Table) -> str:
+    """Persist a rendered experiment table and return the text."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = table.render()
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text

@@ -1,0 +1,67 @@
+"""E13 — Extension: the referee model of [ACT18] (related work §1.1).
+
+The paper's related-work section contrasts its per-node one-bit outputs
+with the model of Acharya–Canonne–Tyagi: one sample per player, a short
+message to a referee, and a players-vs-communication trade-off.  This
+benchmark measures that trade-off with the hash-and-test protocol:
+halving the message length doubles-ish the players needed
+(``k = Θ(n/(ε²·√B))``), while total communication *decreases* with
+longer messages — and compares the regime with the paper's 0-round
+threshold tester, which sends **zero** bits during testing but needs
+``√(n/k)/ε²`` samples per node instead of one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import far_family, uniform
+from repro.experiments import Table, loglog_slope
+from repro.smp import RefereeProtocol
+
+from _common import save_table
+
+N, EPS = 4096, 0.9
+TRIALS = 40
+
+
+@pytest.mark.benchmark(group="e13")
+def test_e13_players_vs_communication(benchmark):
+    u = uniform(N)
+    far = far_family("paninski", N, EPS, rng=0)
+    table = Table(
+        [
+            "bits/player",
+            "buckets B",
+            "players k",
+            "total bits",
+            "err(uniform)",
+            "err(far)",
+        ],
+        title="E13 - referee model: players vs communication at n=%d" % N,
+    )
+    ells, ks = [], []
+    for ell in (4, 6, 8, 10):
+        k = RefereeProtocol.players_needed(N, EPS, ell)
+        proto = RefereeProtocol(n=N, eps=EPS, message_bits=ell, players=k)
+        err_u = proto.estimate_error(u, True, TRIALS, rng=ell)
+        err_f = proto.estimate_error(far, False, TRIALS, rng=ell + 1)
+        assert err_u <= 1 / 3 + 0.1
+        assert err_f <= 1 / 3 + 0.1
+        ells.append(1 << ell)
+        ks.append(k)
+        table.add_row(
+            [ell, proto.buckets, k, proto.total_communication_bits,
+             round(err_u, 3), round(err_f, 3)]
+        )
+    slope, _ = loglog_slope(ells, ks)
+    table.add_row(["k ~ B^slope:", round(slope, 3), "(theory -0.5)", "", "", ""])
+    # Reproduction criterion: the inverse trade-off with the sqrt law.
+    assert -0.6 <= slope <= -0.4
+    print("\n" + save_table("e13_referee_tradeoff", table))
+
+    proto = RefereeProtocol(
+        n=N, eps=EPS, message_bits=8,
+        players=RefereeProtocol.players_needed(N, EPS, 8),
+    )
+    benchmark(lambda: proto.run(u, rng=9))

@@ -1,0 +1,94 @@
+"""E5 — τ-token packaging (Definition 2 / Theorem 5.1).
+
+Reproduces: the protocol completes in O(D + τ) rounds on every topology
+(measured slopes: ~1 in τ at fixed D, linear in D at fixed τ), while the
+three Definition 2 invariants hold on every run (checked by the verifier,
+which raises on violation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.congest import run_token_packaging, verify_packaging
+from repro.experiments import Table, loglog_slope
+from repro.simulator import Topology
+
+from _common import save_table
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_rounds_table(benchmark):
+    table = Table(
+        ["topology", "D", "tau", "rounds", "4D+tau+12 budget", "packages", "dropped"],
+        title="E5 - token packaging rounds vs the O(D + tau) bound",
+    )
+    rng = np.random.default_rng(0)
+    topologies = [
+        Topology.line(60),
+        Topology.ring(60),
+        Topology.grid(8, 8),
+        Topology.star(60),
+        Topology.balanced_tree(3, 3),
+        Topology.gnp(60, 0.08, rng=1),
+    ]
+    for topo in topologies:
+        for tau in (2, 8, 24):
+            tokens = rng.integers(0, 1000, size=topo.k)
+            outcomes, report = run_token_packaging(topo, tokens, tau, rng=2)
+            verify_packaging(outcomes, tokens, tau)
+            budget = 4 * topo.diameter() + tau + 12
+            assert report.rounds <= budget
+            packages = sum(len(o.packages) for o in outcomes)
+            table.add_row(
+                [topo.name, topo.diameter(), tau, report.rounds, budget,
+                 packages, topo.k - packages * tau]
+            )
+    print("\n" + save_table("e5_token_packaging", table))
+
+    topo = Topology.grid(8, 8)
+    tokens = rng.integers(0, 1000, size=topo.k)
+    benchmark(lambda: run_token_packaging(topo, tokens, 8, rng=3))
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_tau_slope_on_star(benchmark):
+    """On a D=2 star, rounds grow with slope ~1 in tau."""
+    topo = Topology.star(80)
+    taus, rounds = [], []
+    for tau in (4, 8, 16, 32, 64):
+        tokens = list(range(topo.k))
+        _, report = run_token_packaging(topo, tokens, tau, rng=4)
+        taus.append(tau)
+        rounds.append(report.rounds)
+    # Linear fit of rounds against tau: slope near 1.
+    slope = np.polyfit(taus, rounds, 1)[0]
+    table = Table(["tau", "rounds"], title="E5b - tau term on star(80), D=2")
+    for t, r in zip(taus, rounds):
+        table.add_row([t, r])
+    table.add_row(["slope", round(float(slope), 3)])
+    assert 0.8 <= slope <= 1.3
+    print("\n" + save_table("e5b_tau_slope", table))
+
+    benchmark(lambda: run_token_packaging(topo, list(range(topo.k)), 16, rng=5))
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_diameter_slope_on_line(benchmark):
+    """At fixed tau, rounds grow linearly in the line length (D = k-1)."""
+    tau = 4
+    ks, rounds = [], []
+    for k in (20, 40, 80, 160):
+        _, report = run_token_packaging(Topology.line(k), list(range(k)), tau, rng=6)
+        ks.append(k - 1)
+        rounds.append(report.rounds)
+    slope, _ = loglog_slope(ks, rounds)
+    table = Table(["D", "rounds"], title="E5c - D term on lines at tau=4")
+    for d, r in zip(ks, rounds):
+        table.add_row([d, r])
+    table.add_row(["log-log slope", round(slope, 3)])
+    assert 0.85 <= slope <= 1.15  # linear in D
+    print("\n" + save_table("e5c_diameter_slope", table))
+
+    benchmark(lambda: run_token_packaging(Topology.line(40), list(range(40)), tau, rng=7))

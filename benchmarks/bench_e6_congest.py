@@ -1,0 +1,96 @@
+"""E6 — The CONGEST uniformity tester (Theorem 1.4).
+
+Reproduces: O(D + n/(k eps^4)) total rounds — D dominates on a line,
+the tau term on a star — with network error <= 1/3 on both sides, all
+messages within the O(log n) CONGEST budget, and the package size
+following tau ~ n/k (increasing in n, decreasing in k).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import CongestUniformityTester, congest_parameters
+from repro.distributions import far_family, uniform
+from repro.experiments import Table
+from repro.simulator import Topology
+from repro.simulator.message import bits_for_domain, bits_for_int
+
+from _common import save_table
+
+N, K, EPS = 500, 5_000, 0.9
+TRIALS = 9
+
+
+@pytest.mark.benchmark(group="e6")
+def test_e6_end_to_end_table(benchmark):
+    tester = CongestUniformityTester.solve(N, K, EPS)
+    u = uniform(N)
+    far = far_family("paninski", N, EPS, rng=0)
+    table = Table(
+        [
+            "topology",
+            "D",
+            "rounds",
+            "O(D+tau) budget",
+            "err(uniform)",
+            "err(far)",
+            "max msg bits",
+            "budget bits",
+        ],
+        title="E6 - Theorem 1.4 at n=%d, k=%d, eps=%.1f (tau=%d)"
+        % (N, K, EPS, tester.params.tau),
+    )
+    bits_budget = max(bits_for_domain(N), 2 * bits_for_int(K))
+    star = Topology.star(K)
+    for topo in (star,):
+        err_u = tester.estimate_error(topo, u, True, TRIALS, rng=1)
+        err_f = tester.estimate_error(topo, far, False, TRIALS, rng=2)
+        _, report = tester.run(topo, u, rng=3)
+        budget = tester.params.predicted_rounds(topo.diameter())
+        assert report.rounds <= budget
+        assert report.max_edge_bits_per_round <= bits_budget
+        assert err_u <= 1 / 3 + 0.25  # 9 trials -> generous MC slack
+        assert err_f <= 1 / 3 + 0.25
+        table.add_row(
+            [topo.name, topo.diameter(), report.rounds, int(budget),
+             round(err_u, 2), round(err_f, 2),
+             report.max_edge_bits_per_round, bits_budget]
+        )
+    # One full line run (D = k-1 dominates the round count).
+    line = Topology.line(K)
+    accepted, report = tester.run(line, u, rng=4)
+    budget = tester.params.predicted_rounds(line.diameter())
+    assert report.rounds <= budget
+    table.add_row(
+        [line.name, line.diameter(), report.rounds, int(budget),
+         "(1 run: %s)" % ("ok" if accepted else "err"), "-",
+         report.max_edge_bits_per_round, bits_budget]
+    )
+    print("\n" + save_table("e6_congest", table))
+
+    benchmark(lambda: tester.run(star, u, rng=5))
+
+
+@pytest.mark.benchmark(group="e6")
+def test_e6_tau_shape(benchmark):
+    """tau = Theta(n/(k eps^4)): grows with n, shrinks with k."""
+    table = Table(
+        ["n", "k", "tau", "n/k"],
+        title="E6b - package size tau vs n/k",
+    )
+    taus_by_k = []
+    for k in (3_000, 6_000, 12_000):
+        params = congest_parameters(N, k, EPS)
+        taus_by_k.append(params.tau)
+        table.add_row([N, k, params.tau, round(N / k, 3)])
+    taus_by_n = []
+    for n in (300, 600, 1_200):
+        params = congest_parameters(n, 6_000, EPS)
+        taus_by_n.append(params.tau)
+        table.add_row([n, 6_000, params.tau, round(n / 6_000, 3)])
+    assert taus_by_k == sorted(taus_by_k, reverse=True)  # shrinks with k
+    assert taus_by_n == sorted(taus_by_n)                # grows with n
+    print("\n" + save_table("e6b_tau_shape", table))
+
+    benchmark(lambda: congest_parameters(N, K, EPS))

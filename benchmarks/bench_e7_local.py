@@ -1,0 +1,77 @@
+"""E7 — The LOCAL-model tester (Section 6).
+
+Reproduces: Luby-MIS gathering gives <= 2k/r virtual nodes each holding
+>= r/2 samples; the AND-rule tester over the MIS nodes achieves error
+<= p; total rounds = (MIS phases on G^r) * r + routing <= O(r log k);
+and the feasible radius sits near the paper's closed-form curve.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import local_radius
+from repro.distributions import far_family, uniform
+from repro.experiments import Table
+from repro.localmodel import LocalUniformityTester
+from repro.simulator import Topology
+
+from _common import save_table
+
+N, EPS, P = 20_000, 1.0, 0.45
+K, R = 4_096, 64
+TRIALS = 60
+
+
+@pytest.mark.benchmark(group="e7")
+def test_e7_ring_table(benchmark):
+    tester = LocalUniformityTester(n=N, eps=EPS, p=P)
+    ring = Topology.ring(K)
+    plan = tester.plan(ring, R, rng=0)
+
+    # Structural reproduction criteria (Section 6's counting argument).
+    assert plan.mis_size <= 2 * K // R
+    assert plan.min_catchment >= R // 2
+    assert plan.rounds <= (3 * (4 * math.log2(K) + 8)) * R + R
+
+    u = uniform(N)
+    far = far_family("paninski", N, EPS, rng=1)
+    err_u = sum(
+        not tester.test_with_plan(plan, u, rng=100 + i) for i in range(TRIALS)
+    ) / TRIALS
+    err_f = sum(
+        tester.test_with_plan(plan, far, rng=200 + i) for i in range(TRIALS)
+    ) / TRIALS
+    assert err_u <= P + 0.15
+    assert err_f <= P + 0.15
+
+    table = Table(["quantity", "measured", "bound / target"],
+                  title="E7 - LOCAL tester on ring(%d), r=%d" % (K, R))
+    table.add_row(["virtual nodes (MIS of G^r)", plan.mis_size, f"<= {2 * K // R}"])
+    table.add_row(["min samples per virtual node", plan.min_catchment, f">= {R // 2}"])
+    table.add_row(["samples used per virtual node",
+                   plan.params.samples_per_node, f"<= {plan.min_catchment}"])
+    table.add_row(["rounds", plan.rounds, "O(r log k)"])
+    table.add_row(["err(uniform)", round(err_u, 3), f"<= {P}"])
+    table.add_row(["err(far)", round(err_f, 3), f"<= {P}"])
+    print("\n" + save_table("e7_local_ring", table))
+
+    benchmark(lambda: tester.test_with_plan(plan, u, rng=7))
+
+
+@pytest.mark.benchmark(group="e7")
+def test_e7_radius_search(benchmark):
+    """The doubling search lands within 4x of the paper's radius curve."""
+    tester = LocalUniformityTester(n=N, eps=EPS, p=P)
+    ring = Topology.ring(K)
+    found = tester.choose_radius(ring, rng=2, start=8)
+    paper = local_radius(N, K, EPS, P)
+    table = Table(["quantity", "value"], title="E7b - gathering radius")
+    table.add_row(["doubling-search radius", found])
+    table.add_row(["paper closed-form curve", round(paper, 1)])
+    assert found <= max(8 * paper, 8.0 * 8)
+    print("\n" + save_table("e7b_radius", table))
+
+    benchmark(lambda: tester.plan(ring, found, rng=3))

@@ -1,0 +1,88 @@
+"""E8 — The SMP Equality protocol with asymmetric error (Lemma 7.3).
+
+Reproduces: worst-case communication O(sqrt(tau delta n)) bits per player
+(log-log slope 1/2 in both delta and n), perfect completeness, and
+measured NO-side rejection >= tau*delta on worst-case (certified-distance)
+input pairs — sandwiched against the Theorem 7.2 lower bound
+Omega(sqrt(f(tau) delta n)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import smp_equality_lower_bound, smp_equality_upper_bound
+from repro.experiments import Table, loglog_slope
+from repro.smp import EqualityProtocol
+
+from _common import save_table
+
+TAU = 2.0
+TRIALS = 40_000
+
+
+def _input_pair(n_bits: int, seed: int):
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 2, n_bits)
+    y = x.copy()
+    y[int(rng.integers(n_bits))] ^= 1  # 1-bit flip: worst case via the code
+    return x, y
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_error_profile_table(benchmark):
+    table = Table(
+        [
+            "n bits",
+            "delta",
+            "comm bits",
+            "lower bound",
+            "upper curve",
+            "rej(equal)",
+            "rej(unequal)",
+            "tau*delta target",
+        ],
+        title="E8 - Lemma 7.3 torus protocol (tau = %.1f)" % TAU,
+    )
+    cases = [(128, 0.02), (256, 0.02), (512, 0.02), (512, 0.005)]
+    for n_bits, delta in cases:
+        proto = EqualityProtocol.build(n_bits=n_bits, delta=delta, tau=TAU)
+        x, y = _input_pair(n_bits, seed=n_bits)
+        rej_eq = proto.estimate_rejection(x, x, TRIALS, rng=1)
+        rej_neq = proto.estimate_rejection(x, y, TRIALS, rng=2)
+        lower = smp_equality_lower_bound(n_bits, delta, TAU)
+        upper = smp_equality_upper_bound(n_bits, delta, TAU)
+        # Reproduction criteria.
+        assert rej_eq == 0.0  # perfect completeness
+        sigma = (TAU * delta / TRIALS) ** 0.5
+        assert rej_neq >= TAU * delta - 4 * sigma
+        assert proto.communication_bits >= lower * 0.3  # same order as Omega(.)
+        table.add_row(
+            [n_bits, delta, proto.communication_bits, round(lower, 1),
+             round(upper, 1), rej_eq, round(rej_neq, 4), TAU * delta]
+        )
+    print("\n" + save_table("e8_smp_equality", table))
+
+    proto = EqualityProtocol.build(n_bits=256, delta=0.02, tau=TAU)
+    x, y = _input_pair(256, seed=3)
+    benchmark(lambda: proto.run(x, y, rng=4))
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_cost_scaling(benchmark):
+    """Chunk length ~ sqrt(delta): slope 1/2 in a delta sweep."""
+    deltas = [0.004, 0.008, 0.016, 0.032]
+    chunks = []
+    for delta in deltas:
+        proto = EqualityProtocol.build(n_bits=512, delta=delta, tau=TAU)
+        chunks.append(proto.chunk_length)
+    slope, _ = loglog_slope(deltas, chunks)
+    table = Table(["delta", "chunk bits"], title="E8b - cost ~ sqrt(delta)")
+    for d, c in zip(deltas, chunks):
+        table.add_row([d, c])
+    table.add_row(["log-log slope", round(slope, 3)])
+    assert 0.4 <= slope <= 0.6
+    print("\n" + save_table("e8b_cost_scaling", table))
+
+    benchmark(lambda: EqualityProtocol.build(n_bits=512, delta=0.01, tau=TAU))

@@ -1,0 +1,125 @@
+"""E9 — The lower-bound sandwich (Theorems 1.3, 7.1, 7.2 / Corollary 7.4).
+
+Reproduces three facts:
+
+1. Lemma 2.1's KL separation holds numerically over a parameter grid.
+2. The *measured* minimal sample count at which the single-collision
+   tester achieves a (delta, 1+eps^2/2)-gap lies between Corollary 7.4's
+   Omega(sqrt(f(alpha) delta n)/log n) and the construction's
+   sqrt(2 delta n) — the sandwich that certifies the tester is
+   near-optimal in this regime.
+3. The Theorem 7.1 reduction run forward: the tester's gap becomes an
+   Equality protocol's error profile at cost q*log(n) bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CollisionGapTester
+from repro.core.bounds import (
+    gap_tester_lower_bound,
+    gap_tester_samples,
+)
+from repro.distributions import far_family, uniform
+from repro.experiments import Table
+from repro.smp import BCGMapping, ConcatenatedCode, TesterBasedEqualityProtocol
+from repro.smp.lowerbound import verify_kl_separation
+from repro.zeroround.network import estimate_rejection_probability
+
+from _common import save_table
+
+N = 20_000
+EPS = 0.9
+TRIALS = 20_000
+
+
+@pytest.mark.benchmark(group="e9")
+def test_e9_kl_grid(benchmark):
+    worst = np.inf
+    for delta in np.linspace(0.01, 0.24, 12):
+        for tau in np.linspace(1.05, min(4.0, 0.9 / delta), 12):
+            exact, bound = verify_kl_separation(float(delta), float(tau))
+            worst = min(worst, exact - bound)
+    table = Table(["check", "value"], title="E9a - Lemma 2.1 KL separation grid")
+    table.add_row(["grid points", 144])
+    table.add_row(["min (exact KL - bound)", f"{worst:.3e}"])
+    assert worst >= -1e-15
+    print("\n" + save_table("e9a_kl_grid", table))
+
+    benchmark(lambda: verify_kl_separation(0.05, 2.0))
+
+
+@pytest.mark.benchmark(group="e9")
+def test_e9_sandwich_table(benchmark):
+    """Empirical minimal s for the gap vs the two theory curves."""
+    far = far_family("paninski", N, EPS, rng=0)
+    u = uniform(N)
+    table = Table(
+        [
+            "delta",
+            "lower bound (Cor 7.4)",
+            "measured minimal s",
+            "construction s = sqrt(2 delta n)",
+        ],
+        title="E9b - sample-complexity sandwich at n=%d, eps=%.1f" % (N, EPS),
+    )
+    for delta in (0.05, 0.1, 0.2):
+        alpha = 1.0 + EPS * EPS / 2.0
+
+        def has_gap(s: int) -> bool:
+            """Does s deliver the (delta, alpha) gap empirically?
+
+            Not monotone in s (completeness re-breaks once binom(s,2)/n
+            exceeds delta), so the search below is a linear scan for the
+            *first* working s.
+            """
+            rate_u = estimate_rejection_probability(u, s, TRIALS, rng=s)
+            rate_f = estimate_rejection_probability(far, s, TRIALS, rng=s + 1)
+            return rate_u <= delta * 1.05 and rate_f >= alpha * delta * 0.9
+
+        upper = CollisionGapTester.from_delta(N, delta).s
+        measured = next(
+            (s for s in range(2, 2 * upper) if has_gap(s)), None
+        )
+        lower = gap_tester_lower_bound(N, delta, alpha)
+        construction = gap_tester_samples(N, delta)
+        assert measured is not None
+        # The sandwich: lower <= measured <= construction (with MC slack).
+        assert lower <= measured <= construction * 1.1
+        table.add_row([delta, round(lower, 1), measured, round(construction, 1)])
+    print("\n" + save_table("e9b_sandwich", table))
+
+    benchmark(
+        lambda: estimate_rejection_probability(u, 40, 4096, rng=9)
+    )
+
+
+@pytest.mark.benchmark(group="e9")
+def test_e9_reduction_forward(benchmark):
+    """Theorem 7.1 run forward: tester -> EQ protocol with q log n bits."""
+    code = ConcatenatedCode.for_message_bits(128)
+    mapping = BCGMapping(code=code)
+    delta = 0.2
+    tester = CollisionGapTester.from_delta(mapping.domain_size, delta)
+    proto = TesterBasedEqualityProtocol(mapping=mapping, tester=tester)
+
+    rng = np.random.default_rng(1)
+    x = rng.integers(0, 2, 128)
+    y = x.copy()
+    y[7] ^= 1
+    acc_eq = proto.estimate_acceptance(x, x, trials=4000, rng=2)
+    acc_neq = proto.estimate_acceptance(x, y, trials=4000, rng=3)
+
+    table = Table(["quantity", "value"], title="E9c - Theorem 7.1 forward")
+    table.add_row(["domain 2m'", mapping.domain_size])
+    table.add_row(["tester samples q", tester.samples_required])
+    table.add_row(["protocol bits (q log n)", proto.communication_bits])
+    table.add_row(["accept(equal)", round(acc_eq, 4)])
+    table.add_row(["accept(unequal)", round(acc_neq, 4)])
+    assert acc_eq >= 1 - delta - 0.02
+    assert acc_neq < acc_eq  # the gap survives the reduction
+    print("\n" + save_table("e9c_reduction", table))
+
+    benchmark(lambda: proto.run(x, y, rng=4))

@@ -1,0 +1,71 @@
+"""Asymmetric sampling costs (Section 4): a heterogeneous monitoring fleet.
+
+Three device tiers share one detection job: cheap edge boxes (cost 1 per
+sample), mid-tier gateways (cost 3), and battery-powered remote probes
+(cost 10).  The Section 4 construction assigns each tier a sample quota
+proportional to 1/cost so that everyone pays the same total cost C — and C
+itself is Θ(√n/ε²)/‖T‖₂, minimised over all assignments.
+
+The script compares the asymmetric optimum against the naive "everyone
+draws the same s" policy.
+
+Run:  python examples/asymmetric_fleet.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CostVector, asymmetric_threshold_parameters, far_family, uniform
+from repro.core.params import threshold_parameters
+from repro.experiments import Table
+
+N = 50_000
+EPS = 0.9
+TIERS = [
+    ("edge box", 1.0, 12_000),
+    ("gateway", 3.0, 6_000),
+    ("remote probe", 10.0, 2_000),
+]
+
+
+def main() -> None:
+    costs = CostVector.of(
+        [cost for _, cost, count in TIERS for _ in range(count)]
+    )
+    k = costs.k
+    params = asymmetric_threshold_parameters(N, costs, EPS)
+
+    table = Table(
+        ["tier", "cost/sample", "devices", "samples each", "cost each"],
+        title=f"Asymmetric plan (max individual cost C = {params.max_cost:.0f})",
+    )
+    offset = 0
+    for name, cost, count in TIERS:
+        s = params.samples[offset]
+        table.add_row([name, cost, count, s, s * cost])
+        offset += count
+    print(table.render())
+
+    # Naive symmetric policy: ignore costs, run Theorem 1.2 as-is.
+    sym = threshold_parameters(N, k, EPS)
+    worst_cost = sym.s * max(c for _, c, _ in TIERS)
+    print(
+        f"\nNaive symmetric policy: every device draws {sym.s} samples, so "
+        f"a remote probe pays {worst_cost:.0f} — "
+        f"{worst_cost / params.max_cost:.1f}x the asymmetric optimum."
+    )
+
+    # Does the asymmetric network still detect?
+    far = far_family("paninski", N, EPS, rng=0)
+    u = uniform(N)
+    correct_far = sum(not params.test(far, rng=i) for i in range(10))
+    correct_uni = sum(params.test(u, rng=100 + i) for i in range(10))
+    print(
+        f"\nDetection check over 10 epochs each: far rejected {correct_far}/10, "
+        f"uniform accepted {correct_uni}/10 (both should be >= 7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""CONGEST uniformity testing on real topologies (Theorem 1.4).
+
+Every node holds just ONE sample — far too little to decide anything
+alone.  The network packages samples into virtual nodes of τ samples
+(token packaging, Theorem 5.1), tests each package for a collision, and
+convergecasts the alarm count to a root.  Total: O(D + n/(kε⁴)) rounds of
+O(log n)-bit messages, which this script *measures* on a line (worst
+diameter) and a star (best diameter).
+
+Run:  python examples/congest_line.py
+"""
+
+from __future__ import annotations
+
+from repro.congest import CongestUniformityTester
+from repro.distributions import far_family, uniform
+from repro.experiments import Table
+from repro.simulator import Topology
+
+N = 500      # domain size
+K = 3_000    # network size (one sample per node)
+EPS = 0.9
+
+
+def main() -> None:
+    tester = CongestUniformityTester.solve(N, K, EPS)
+    p = tester.params
+    print(
+        f"Theorem 1.4 parameters at n={N}, k={K}, eps={EPS}: package size "
+        f"tau={p.tau}, ~{p.expected_virtual_nodes} virtual nodes, alarm "
+        f"probabilities {p.alarm_prob_uniform:.4f} (uniform) vs "
+        f">= {p.alarm_prob_far:.4f} (far).\n"
+    )
+
+    table = Table(
+        [
+            "topology",
+            "diameter",
+            "distribution",
+            "verdict",
+            "rounds",
+            "O(D+tau) budget",
+            "messages",
+            "max msg bits",
+        ],
+        title="Full protocol executions",
+    )
+    topologies = [Topology.line(K), Topology.star(K)]
+    u = uniform(N)
+    far = far_family("paninski", N, EPS, rng=1)
+    for topo in topologies:
+        d = topo.diameter()
+        for label, dist, seed in [("uniform", u, 10), (f"{EPS}-far", far, 20)]:
+            accepted, report = tester.run(topo, dist, rng=seed)
+            table.add_row(
+                [
+                    topo.name,
+                    d,
+                    label,
+                    "accept" if accepted else "reject",
+                    report.rounds,
+                    int(p.predicted_rounds(d)),
+                    report.messages,
+                    report.max_edge_bits_per_round,
+                ]
+            )
+    print(table.render())
+    print(
+        "\nEvery message fits the CONGEST budget (the engine *rejects* "
+        "oversized messages rather than measuring them)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Sensor network: testing identity to a *non-uniform* baseline.
+
+A plant's sensors each sample a discretised temperature reading.  The
+"normal" profile η is not uniform (temperatures cluster around set
+points), so plain uniformity testing does not apply — but the paper's
+introduction notes that identity-to-η reduces to uniformity via a
+*filter* each node applies locally with private coins [Goldreich 2016].
+
+Pipeline per sensor:
+  raw reading  →  grained-η filter  →  bucket ID  →  collision tester
+and the network decides with the Theorem 1.2 threshold rule.
+
+Run:  python examples/sensor_identity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import CollisionGapTester
+from repro.core.params import threshold_parameters
+from repro.distributions import (
+    DiscreteDistribution,
+    IdentityFilter,
+    grain,
+    l1_distance,
+)
+from repro.experiments import Table
+from repro.rng import ensure_rng
+
+BINS = 2_000        # discretised temperature bins
+SENSORS = 20_000
+EPS = 0.9           # reject profiles 0.9-far from the baseline
+
+
+def baseline_profile() -> DiscreteDistribution:
+    """Two Gaussian-ish bumps around the plant's set points."""
+    x = np.arange(BINS, dtype=np.float64)
+    bumps = np.exp(-((x - 600.0) ** 2) / (2 * 120.0**2)) + 0.7 * np.exp(
+        -((x - 1400.0) ** 2) / (2 * 90.0**2)
+    )
+    bumps += 1e-4  # thin uniform floor so support is full
+    return DiscreteDistribution(bumps / bumps.sum(), name="baseline")
+
+
+def overheating_profile(shift: int) -> DiscreteDistribution:
+    """The same plant with both bumps drifted `shift` bins hotter."""
+    base = baseline_profile()
+    probs = np.roll(base.probs, shift)
+    return DiscreteDistribution(probs, name=f"drift(+{shift})")
+
+
+def run_epoch(mu: DiscreteDistribution, filt: IdentityFilter, s: int,
+              threshold: int, tester: CollisionGapTester, seed: int) -> int:
+    """One monitoring epoch: every sensor samples, filters, tests.
+
+    Vectorised: all sensors' draws in one matrix, one filter pass, and a
+    sort-based collision check per row — identical in distribution to the
+    per-sensor loop.
+    """
+    rng = ensure_rng(seed)
+    raw = mu.sample_matrix(SENSORS, s, rng)
+    filtered = filt.apply(raw.reshape(-1), rng).reshape(SENSORS, s)
+    ordered = np.sort(filtered, axis=1)
+    collided = (np.diff(ordered, axis=1) == 0).any(axis=1)
+    return int(collided.sum())
+
+
+def main() -> None:
+    eta = baseline_profile()
+    m = 4 * BINS  # grain: costs at most BINS/m = 0.25 of the eps budget
+    eta_grained = grain(eta, m)
+    filt = IdentityFilter.for_target(eta_grained, m)
+    image_n = filt.image_domain_size
+
+    # The filter maps eta to U_m; solve the threshold construction on the
+    # image domain (distance shrinks by at most the graining error).
+    eff_eps = EPS - l1_distance(eta, eta_grained)
+    params = threshold_parameters(image_n, SENSORS, eff_eps)
+    tester = CollisionGapTester(n=image_n, s=params.s)
+    print(
+        f"{SENSORS} sensors, {BINS} temperature bins -> filter image "
+        f"domain {image_n}; {params.s} readings per sensor per epoch, "
+        f"alarm threshold {params.threshold}.\n"
+    )
+
+    table = Table(
+        ["profile", "L1 dist to baseline", "alarms", "verdict"],
+        title="Monitoring epochs",
+    )
+    scenarios = [
+        ("normal", eta),
+        ("drift +40 bins", overheating_profile(40)),
+        ("drift +200 bins", overheating_profile(200)),
+    ]
+    for name, mu in scenarios:
+        alarms = run_epoch(mu, filt, params.s, params.threshold, tester, seed=len(name))
+        verdict = "ALERT" if alarms >= params.threshold else "ok"
+        table.add_row(
+            [name, round(l1_distance(mu, eta), 3), alarms, verdict]
+        )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

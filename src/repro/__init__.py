@@ -1,0 +1,77 @@
+"""repro — a reproduction of *Distributed Uniformity Testing* (PODC 2018).
+
+Fischer, Meir and Oshman study testing whether an unknown distribution
+``μ`` on ``{1, ..., n}`` is uniform or ε-far from uniform (L1), in a
+network of ``k`` nodes that each draw their own samples.  This library
+implements the paper end to end:
+
+- the single-collision ``(δ, α)``-gap tester and its analysis
+  (:mod:`repro.core`),
+- 0-round distributed testers under the AND and threshold decision rules,
+  including the asymmetric-cost generalisation (:mod:`repro.zeroround`),
+- a synchronous LOCAL/CONGEST network simulator with bandwidth
+  enforcement (:mod:`repro.simulator`),
+- the τ-token-packaging protocol and the full CONGEST tester
+  (:mod:`repro.congest`),
+- the MIS-based LOCAL tester (:mod:`repro.localmodel`),
+- the simultaneous-Equality machinery behind the lower bound: codes, the
+  torus-chunk protocol, the Blais–Canonne–Gur reduction
+  (:mod:`repro.smp`),
+- distributions, distances and certified ε-far families
+  (:mod:`repro.distributions`), and an experiment harness
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import uniform, far_family, ThresholdNetworkTester
+>>> tester = ThresholdNetworkTester.solve(n=50_000, k=20_000, eps=0.9)
+>>> tester.test(uniform(50_000), rng=0)
+True
+>>> tester.test(far_family("paninski", 50_000, 0.9, rng=1), rng=2)
+False
+"""
+
+from repro.core import (
+    CollisionGapTester,
+    GapGuarantee,
+    GapSpec,
+    and_rule_parameters,
+    cp_constant,
+    threshold_parameters,
+)
+from repro.distributions import (
+    DiscreteDistribution,
+    far_family,
+    l1_distance,
+    l1_distance_to_uniform,
+    uniform,
+)
+from repro.zeroround import (
+    AndRuleNetworkTester,
+    CostVector,
+    ThresholdNetworkTester,
+    asymmetric_and_parameters,
+    asymmetric_threshold_parameters,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DiscreteDistribution",
+    "uniform",
+    "far_family",
+    "l1_distance",
+    "l1_distance_to_uniform",
+    "GapSpec",
+    "GapGuarantee",
+    "CollisionGapTester",
+    "cp_constant",
+    "and_rule_parameters",
+    "threshold_parameters",
+    "AndRuleNetworkTester",
+    "ThresholdNetworkTester",
+    "CostVector",
+    "asymmetric_threshold_parameters",
+    "asymmetric_and_parameters",
+]

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve-threshold``
+    Solve the Theorem 1.2 construction at (n, k, eps, p) and print the
+    parameters plus (optionally) a measured error estimate.
+``solve-and``
+    Same for the Theorem 1.1 AND-rule construction.
+``solve-congest``
+    Choose the Theorem 1.4 package size τ and print predicted rounds for
+    a given diameter.
+``demo``
+    Run a quick end-to-end demonstration: threshold network on uniform vs
+    a certified ε-far distribution.
+``bounds``
+    Print every closed-form theorem curve at (n, k, eps).
+
+All commands accept ``--seed`` for reproducibility and print plain-ASCII
+tables (no extra dependencies).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import and_rule_parameters, threshold_parameters
+from repro.core import bounds as bounds_mod
+from repro.core.params import threshold_parameters_exact
+from repro.distributions import far_family, uniform
+from repro.exceptions import ReproError
+from repro.experiments import Table
+from repro.zeroround import ThresholdNetworkTester
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, required=True, help="domain size")
+    parser.add_argument("--k", type=int, required=True, help="network size")
+    parser.add_argument("--eps", type=float, default=0.9, help="L1 distance parameter")
+    parser.add_argument("--p", type=float, default=1 / 3, help="error budget")
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+
+
+def _cmd_solve_threshold(args: argparse.Namespace) -> int:
+    solver = threshold_parameters_exact if args.exact else threshold_parameters
+    params = solver(args.n, args.k, args.eps, args.p)
+    table = Table(["parameter", "value"], title="Theorem 1.2 (threshold rule)")
+    table.add_row(["samples per node s", params.s])
+    table.add_row(["per-node delta", f"{params.delta:.5g}"])
+    table.add_row(["alarm threshold T", params.threshold])
+    table.add_row(["gamma slack (Eq. 1)", f"{params.gamma:.3f}"])
+    table.add_row(["E[alarms | uniform] <=", f"{params.eta_uniform:.2f}"])
+    table.add_row(["E[alarms | far] >=", f"{params.eta_far:.2f}"])
+    table.add_row(
+        ["centralized cost (1 node)",
+         int(bounds_mod.centralized_sample_complexity(args.n, args.eps))]
+    )
+    print(table.render())
+    if args.trials:
+        tester = ThresholdNetworkTester(params=params)
+        u = uniform(args.n)
+        far = far_family("paninski", args.n, min(args.eps, 1.0), rng=args.seed)
+        err_u = tester.estimate_error(u, True, args.trials, rng=args.seed + 1)
+        err_f = tester.estimate_error(far, False, args.trials, rng=args.seed + 2)
+        print(f"\nmeasured over {args.trials} trials: "
+              f"err(uniform)={err_u:.3f}, err(far)={err_f:.3f}")
+    return 0
+
+
+def _cmd_solve_and(args: argparse.Namespace) -> int:
+    params = and_rule_parameters(args.n, args.k, args.eps, args.p)
+    table = Table(["parameter", "value"], title="Theorem 1.1 (AND rule)")
+    table.add_row(["repetitions m", params.m])
+    table.add_row(["samples per repetition", params.s_per_repetition])
+    table.add_row(["samples per node", params.samples_per_node])
+    table.add_row(["per-node uniform-reject budget", f"{params.delta_node:.5g}"])
+    table.add_row(["network error (uniform) <=", f"{params.network_error_uniform:.3f}"])
+    table.add_row(["network error (far) <=", f"{params.network_error_far:.3f}"])
+    print(table.render())
+    return 0
+
+
+def _cmd_solve_congest(args: argparse.Namespace) -> int:
+    from repro.congest import congest_parameters
+
+    params = congest_parameters(
+        args.n, args.k, args.eps, args.p, args.samples_per_node
+    )
+    table = Table(["parameter", "value"], title="Theorem 1.4 (CONGEST)")
+    table.add_row(["samples per node", params.samples_per_node])
+    table.add_row(["package size tau", params.tau])
+    table.add_row(["expected virtual nodes", params.expected_virtual_nodes])
+    table.add_row(["alarm prob (uniform) <=", f"{params.alarm_prob_uniform:.4f}"])
+    table.add_row(["alarm prob (far) >=", f"{params.alarm_prob_far:.4f}"])
+    table.add_row(
+        [f"predicted rounds at D={args.diameter}",
+         int(params.predicted_rounds(args.diameter))]
+    )
+    print(table.render())
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    tester = ThresholdNetworkTester.solve(args.n, args.k, args.eps, args.p)
+    u = uniform(args.n)
+    far = far_family("paninski", args.n, min(args.eps, 1.0), rng=args.seed)
+    table = Table(
+        ["distribution", "alarms", "threshold", "verdict"],
+        title=f"Demo: k={args.k} nodes x {tester.samples_per_node} samples",
+    )
+    for name, dist, seed in [("uniform", u, 1), (f"{args.eps}-far", far, 2)]:
+        alarms = tester.rejection_count(dist, rng=args.seed + seed)
+        verdict = "accept" if alarms < tester.params.threshold else "reject"
+        table.add_row([name, alarms, tester.params.threshold, verdict])
+    print(table.render())
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    n, k, eps = args.n, args.k, args.eps
+    table = Table(["theorem", "quantity", "value"],
+                  title=f"Closed-form curves at n={n}, k={k}, eps={eps}")
+    table.add_row(["centralized [21]", "samples",
+                   round(bounds_mod.centralized_sample_complexity(n, eps), 1)])
+    table.add_row(["Thm 1.1 (AND)", "samples/node",
+                   round(bounds_mod.and_rule_samples(n, k, eps), 1)])
+    table.add_row(["Thm 1.2 (threshold)", "samples/node",
+                   round(bounds_mod.threshold_rule_samples(n, k, eps), 1)])
+    table.add_row(["Thm 1.2", "threshold T",
+                   round(bounds_mod.threshold_value(eps), 1)])
+    table.add_row(["Thm 1.4 (CONGEST)", "tau",
+                   round(bounds_mod.congest_package_size(n, k, eps), 1)])
+    table.add_row(["Thm 1.3 (lower bound)", "samples/node",
+                   round(bounds_mod.zero_round_lower_bound(n, k), 1)])
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed uniformity testing (PODC 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve-threshold", help="solve Theorem 1.2 parameters")
+    _add_common(p)
+    p.add_argument("--exact", action="store_true",
+                   help="use exact binomial tails instead of the Eq. (5) window")
+    p.add_argument("--trials", type=int, default=0,
+                   help="also measure error over this many network trials")
+    p.set_defaults(func=_cmd_solve_threshold)
+
+    p = sub.add_parser("solve-and", help="solve Theorem 1.1 parameters")
+    _add_common(p)
+    p.set_defaults(func=_cmd_solve_and)
+
+    p = sub.add_parser("solve-congest", help="solve Theorem 1.4 parameters")
+    _add_common(p)
+    p.add_argument("--diameter", type=int, default=10,
+                   help="network diameter for the round prediction")
+    p.add_argument("--samples-per-node", type=int, default=1,
+                   help="initial samples (tokens) per node")
+    p.set_defaults(func=_cmd_solve_congest)
+
+    p = sub.add_parser("demo", help="run the threshold tester once")
+    _add_common(p)
+    p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser("bounds", help="print every closed-form theorem curve")
+    _add_common(p)
+    p.set_defaults(func=_cmd_bounds)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

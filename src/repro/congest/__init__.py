@@ -1,0 +1,36 @@
+"""CONGEST-model uniformity testing (Section 5 of the paper).
+
+Two layers:
+
+- :mod:`repro.congest.token_packaging` — the ``τ``-token-packaging
+  protocol of Definition 2 / Theorem 5.1: concentrate the network's ``k``
+  single-sample tokens into packages of exactly ``τ`` tokens in
+  ``O(D + τ)`` rounds, losing at most ``τ − 1`` tokens.
+- :mod:`repro.congest.tester` — Theorem 1.4: package the samples, treat
+  each package as a *virtual node* of the 0-round threshold tester
+  (Theorem 1.2), convergecast the alarm count to the BFS root, and have
+  the root broadcast the verdict.  Total ``O(D + n/(kε⁴))`` rounds, all
+  messages within the ``O(log n)``-bit CONGEST budget (engine-enforced).
+"""
+
+from repro.congest.token_packaging import (
+    PackagingOutcome,
+    TokenPackagingProgram,
+    run_token_packaging,
+    verify_packaging,
+)
+from repro.congest.tester import (
+    CongestParameters,
+    CongestUniformityTester,
+    congest_parameters,
+)
+
+__all__ = [
+    "TokenPackagingProgram",
+    "PackagingOutcome",
+    "run_token_packaging",
+    "verify_packaging",
+    "CongestParameters",
+    "CongestUniformityTester",
+    "congest_parameters",
+]

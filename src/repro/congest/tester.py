@@ -1,0 +1,363 @@
+"""Theorem 1.4 — the end-to-end CONGEST uniformity tester.
+
+Pipeline (Section 5): every node starts with **one sample** of the unknown
+``μ``.  The network
+
+1. runs :mod:`τ-token packaging <repro.congest.token_packaging>` to
+   concentrate the ``k`` samples into ``ℓ = Θ(k/τ)`` *virtual nodes*
+   (packages) of exactly ``τ`` samples each,
+2. each package runs the single-collision tester ``A_δ`` (a package with a
+   repeated sample is an alarm),
+3. the alarm count and the package count are convergecast to the BFS root,
+4. the root places the Theorem 1.2 threshold for the *actual* number of
+   virtual nodes ``ℓ`` and broadcasts the verdict down the tree.
+
+Round complexity: ``O(D)`` for flooding/convergecast/broadcast plus ``τ``
+for token forwarding — with ``τ = Θ(n/(kε⁴))`` this is the theorem's
+``O(D + n/(kε⁴))``.  Every message respects the CONGEST budget of
+``max(⌈log₂ n⌉, 2⌈log₂ k⌉)`` bits (engine-enforced).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.binomial import find_separating_threshold
+from repro.core.collision import (
+    collision_free_probability_uniform,
+    effective_delta,
+    far_accept_upper_bound,
+    gamma_slack,
+)
+from repro.distributions.base import DiscreteDistribution
+from repro.exceptions import InfeasibleParametersError, ParameterError
+from repro.rng import SeedLike, ensure_rng
+from repro.simulator.engine import EngineReport, SynchronousEngine
+from repro.simulator.graph import Topology
+from repro.simulator.message import Message, bits_for_domain, bits_for_int
+from repro.simulator.node import Context
+from repro.congest.token_packaging import (
+    TokenPackagingProgram,
+    _run_with_deadlock_margin,
+)
+
+_VOTE = "vote"
+_DECIDE = "decide"
+
+
+@dataclass(frozen=True)
+class CongestParameters:
+    """Solved Theorem 1.4 instance.
+
+    Attributes
+    ----------
+    n, k, eps, p:
+        Problem parameters; each node holds one sample (``s = 1``).
+    tau:
+        Package size — samples per virtual node.
+    expected_virtual_nodes:
+        ``⌊k/τ⌋``, the upper bound on packages (at most ``τ−1`` samples
+        are dropped so at least ``⌊(k−τ+1)/τ⌋`` are formed).
+    delta:
+        Per-package collision probability budget ``binom(τ,2)/n``.
+    gamma:
+        γ slack at ``(n, τ, ε)`` (reported for comparison with the
+        asymptotic analysis; threshold placement uses exact tails).
+    alarm_prob_uniform:
+        Exact upper bound on ``Pr[package alarms | uniform]``.
+    alarm_prob_far:
+        Lemma 3.3 lower bound on ``Pr[package alarms | ε-far]``.
+    """
+
+    n: int
+    k: int
+    eps: float
+    p: float
+    tau: int
+    expected_virtual_nodes: int
+    delta: float
+    gamma: float
+    alarm_prob_uniform: float
+    alarm_prob_far: float
+    samples_per_node: int = 1
+
+    def predicted_rounds(self, diameter: int) -> float:
+        """The paper's ``O(D + τ)`` with constant ≈ 5 for our phase count
+        (flood + child + count + tokens + vote + decide)."""
+        return 5.0 * diameter + self.tau + 10.0
+
+    def threshold_for(self, virtual_nodes: int) -> int:
+        """Exact-tail threshold for the realised package count.
+
+        The alarm count under uniform is dominated by
+        ``Bin(ℓ, alarm_prob_uniform)`` and under any ε-far distribution
+        dominates ``Bin(ℓ, alarm_prob_far)``; the threshold separates the
+        two at error ``p`` per side.
+        """
+        threshold = find_separating_threshold(
+            virtual_nodes, self.alarm_prob_uniform, self.alarm_prob_far, self.p
+        )
+        if threshold is None:
+            raise InfeasibleParametersError(
+                f"no threshold separates the alarm distributions for "
+                f"l={virtual_nodes} packages of tau={self.tau} samples at "
+                f"n={self.n}, eps={self.eps}"
+            )
+        return threshold
+
+
+def _alarm_probabilities(n: int, tau: int, eps: float) -> "tuple[float, float]":
+    """Exact per-package alarm probabilities ``(uniform, far lower bound)``.
+
+    Uniform side: ``1 − ∏(1 − i/n)`` exactly.  Far side: Lemma 3.2 gives
+    ``χ ≥ (1+ε²)/n`` and Lemma 3.3 turns it into the acceptance bound
+    ``e^{−t}(1+t)``; the alarm probability is its complement.
+    """
+    p_uniform = 1.0 - collision_free_probability_uniform(n, tau)
+    chi_far = (1.0 + eps * eps) / n
+    p_far = 1.0 - far_accept_upper_bound(chi_far, tau)
+    return p_uniform, p_far
+
+
+def congest_parameters(
+    n: int, k: int, eps: float, p: float = 1.0 / 3.0, samples_per_node: int = 1
+) -> CongestParameters:
+    """Choose the package size ``τ`` for Theorem 1.4 at ``(n, k, ε, p)``.
+
+    Scans ``τ`` upward and returns the smallest value for which the exact
+    binomial alarm-count tails are separable at error ``p`` for the
+    worst-case realised package count ``ℓ = ⌊(k·s − τ + 1)/τ⌋`` — minimising
+    ``τ`` minimises the protocol's ``O(D + τ)`` round complexity, which is
+    the theorem's objective.  The asymptotic shape ``τ = Θ(n/(kε⁴))`` is
+    reproduced by benchmark E6.  ``samples_per_node`` is the paper's
+    "generalises to larger s": every node contributes ``s`` tokens.
+    """
+    if k < 2:
+        raise ParameterError(f"CONGEST tester needs k >= 2 nodes, got {k}")
+    if samples_per_node < 1:
+        raise ParameterError(
+            f"samples_per_node must be >= 1, got {samples_per_node}"
+        )
+    total = k * samples_per_node
+    for tau in range(2, total + 1):
+        virtual = (total - tau + 1) // tau
+        if virtual < 1:
+            break
+        p_uniform, p_far = _alarm_probabilities(n, tau, eps)
+        if p_far <= p_uniform:
+            continue
+        threshold = find_separating_threshold(virtual, p_uniform, p_far, p)
+        if threshold is None:
+            continue
+        return CongestParameters(
+            n=n,
+            k=k,
+            eps=eps,
+            p=p,
+            samples_per_node=samples_per_node,
+            tau=tau,
+            expected_virtual_nodes=total // tau,
+            delta=effective_delta(n, tau),
+            gamma=gamma_slack(n, tau, eps),
+            alarm_prob_uniform=p_uniform,
+            alarm_prob_far=p_far,
+        )
+    raise InfeasibleParametersError(
+        f"no package size tau makes Theorem 1.4 feasible at n={n}, k={k}, "
+        f"eps={eps}, p={p}: the network does not hold enough samples "
+        f"(total k samples must be Omega(sqrt(n)/eps^2))"
+    )
+
+
+class CongestTesterProgram(TokenPackagingProgram):
+    """Token packaging extended with testing, voting, and the verdict.
+
+    After packaging, each node tests its packages locally (one alarm per
+    package containing a collision), convergecasts ``(alarms, packages)``
+    pairs up the tree, and the root broadcasts accept/reject.  Every node
+    halts with the network verdict (``True`` = uniform).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        k: int,
+        params: CongestParameters,
+        token: int,
+        token_bits: int,
+    ) -> None:
+        super().__init__(
+            node_id=node_id,
+            k=k,
+            tau=params.tau,
+            token=token,
+            token_bits=token_bits,
+        )
+        self.params = params
+        self.my_alarms = 0
+        self.my_packages = 0
+        self.vote_pending: set = set()
+        self.vote_alarms = 0
+        self.vote_packages = 0
+        self.vote_sent = False
+        self.decision: Optional[bool] = None
+
+    # -- phase 5: local testing + vote convergecast -------------------------
+
+    def _on_packaged(self, ctx: Context, packages) -> None:
+        self.my_packages = len(packages)
+        for package in packages:
+            if len(set(package)) < len(package):
+                self.my_alarms += 1
+        self.phase = _VOTE
+        self.vote_pending = set(self.children)
+        self.vote_alarms = self.my_alarms
+        self.vote_packages = self.my_packages
+        if not self.vote_pending:
+            self._send_vote(ctx)
+
+    def _vote_bits(self) -> int:
+        return 2 * bits_for_int(self.k)
+
+    def _send_vote(self, ctx: Context) -> None:
+        self.vote_sent = True
+        if self.parent is not None:
+            ctx.send(
+                self.parent,
+                (self.vote_alarms, self.vote_packages),
+                bits=self._vote_bits(),
+                tag=_VOTE,
+            )
+        else:
+            # Root: place the threshold for the realised package count and
+            # decide.  A degenerate run with zero packages accepts (it can
+            # also only happen when k < 2 tau, outside the solver's regime).
+            if self.vote_packages == 0:
+                self.decision = True
+            else:
+                threshold = self.params.threshold_for(self.vote_packages)
+                self.decision = self.vote_alarms < threshold
+            self.phase = _DECIDE
+            for child in self.children:
+                ctx.send(child, self.decision, bits=1, tag=_DECIDE)
+            ctx.halt(bool(self.decision))
+
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        if self.phase == _VOTE:
+            for msg in inbox:
+                if msg.tag == _VOTE and msg.src in self.vote_pending:
+                    self.vote_pending.discard(msg.src)
+                    alarms, packages = msg.payload
+                    self.vote_alarms += int(alarms)
+                    self.vote_packages += int(packages)
+            if not self.vote_pending and not self.vote_sent:
+                self._send_vote(ctx)
+            elif self.vote_sent and self.parent is not None:
+                for msg in inbox:
+                    if msg.tag == _DECIDE:
+                        self._relay_decision(ctx, bool(msg.payload))
+            return
+        super().on_round(ctx, inbox)
+
+    def _relay_decision(self, ctx: Context, decision: bool) -> None:
+        self.decision = decision
+        for child in self.children:
+            ctx.send(child, decision, bits=1, tag=_DECIDE)
+        ctx.halt(decision)
+
+
+@dataclass(frozen=True)
+class CongestUniformityTester:
+    """Runner for the Theorem 1.4 protocol.
+
+    Examples
+    --------
+    >>> params = congest_parameters(n=2_000, k=4_000, eps=0.8)
+    >>> params.tau >= 2
+    True
+    """
+
+    params: CongestParameters
+
+    @staticmethod
+    def solve(
+        n: int,
+        k: int,
+        eps: float,
+        p: float = 1.0 / 3.0,
+        samples_per_node: int = 1,
+    ) -> "CongestUniformityTester":
+        """Choose parameters and build the tester."""
+        return CongestUniformityTester(
+            params=congest_parameters(n, k, eps, p, samples_per_node)
+        )
+
+    def run(
+        self,
+        topology: Topology,
+        distribution: DiscreteDistribution,
+        rng: SeedLike = None,
+    ) -> Tuple[bool, EngineReport]:
+        """Execute the protocol once; returns ``(accepted, report)``.
+
+        Draws one fresh sample per node, simulates the full protocol, and
+        returns the network verdict plus measured round/message counts.
+        """
+        if topology.k != self.params.k:
+            raise ParameterError(
+                f"tester solved for k={self.params.k}, topology has {topology.k}"
+            )
+        if distribution.n != self.params.n:
+            raise ParameterError(
+                f"tester solved for n={self.params.n}, distribution has "
+                f"{distribution.n}"
+            )
+        gen = ensure_rng(rng)
+        s = self.params.samples_per_node
+        samples = distribution.sample_matrix(topology.k, s, gen)
+        token_bits = bits_for_domain(self.params.n)
+        bandwidth = max(token_bits, 2 * bits_for_int(topology.k))
+        engine = SynchronousEngine(
+            topology,
+            bandwidth_bits=bandwidth,
+            max_rounds=50 * (topology.diameter_upper_bound() + self.params.tau + 10),
+        )
+        report = _run_with_deadlock_margin(
+            engine,
+            lambda v: CongestTesterProgram(
+                node_id=v,
+                k=topology.k,
+                params=self.params,
+                token=[int(t) for t in samples[v]],
+                token_bits=token_bits,
+            ),
+            gen,
+            self.params.tau + 6,
+        )
+        verdicts = set(report.outputs)
+        if len(verdicts) != 1:
+            raise ParameterError(f"nodes disagree on the verdict: {verdicts}")
+        return bool(report.outputs[0]), report
+
+    def estimate_error(
+        self,
+        topology: Topology,
+        distribution: DiscreteDistribution,
+        is_uniform: bool,
+        trials: int,
+        rng: SeedLike = None,
+    ) -> float:
+        """Monte-Carlo error rate over full protocol executions."""
+        if trials < 1:
+            raise ParameterError(f"trials must be >= 1, got {trials}")
+        gen = ensure_rng(rng)
+        errors = 0
+        for _ in range(trials):
+            accepted, _ = self.run(topology, distribution, gen)
+            if accepted != is_uniform:
+                errors += 1
+        return errors / trials

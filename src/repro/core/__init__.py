@@ -1,0 +1,64 @@
+"""Core uniformity-testing machinery — the paper's primary contribution.
+
+Layout
+------
+- :mod:`repro.core.gap` — the ``(δ, α)``-gap tester abstraction
+  (Definition 1 of the paper) and the generic tester protocol.
+- :mod:`repro.core.collision` — the single-collision tester ``A_δ``
+  (Section 3.1, Theorem 3.1, Lemma 3.4), with the exact sample-size solver
+  for ``s(s−1) = 2δn`` and the γ slack term of Eq. (1).
+- :mod:`repro.core.amplify` — AND-of-m gap amplification (Section 3.2.1).
+- :mod:`repro.core.params` — numeric parameter solvers that instantiate
+  Theorems 1.1 and 1.2 at concrete ``(n, k, ε, p)``.
+- :mod:`repro.core.bounds` — closed-form sample/round complexity predictions
+  for every theorem, used by benchmarks to plot paper-vs-measured.
+- :mod:`repro.core.baselines` — centralized baselines: the Paninski-style
+  collision-count tester [21], a χ²-style tester, and the empirical-L1
+  plug-in tester.
+"""
+
+from repro.core.amplify import RepeatedAndTester, amplified_gap, repetitions_for_gap
+from repro.core.baselines import (
+    ChiSquareTester,
+    CollisionCountTester,
+    EmpiricalL1Tester,
+)
+from repro.core.collision import (
+    CollisionGapTester,
+    collision_free_probability_uniform,
+    far_accept_upper_bound,
+    gamma_slack,
+    sample_size_for_delta,
+    validity_region,
+)
+from repro.core.gap import CentralizedTester, GapGuarantee, GapSpec
+from repro.core.params import (
+    AndRuleParameters,
+    ThresholdParameters,
+    and_rule_parameters,
+    cp_constant,
+    threshold_parameters,
+)
+
+__all__ = [
+    "GapSpec",
+    "GapGuarantee",
+    "CentralizedTester",
+    "CollisionGapTester",
+    "sample_size_for_delta",
+    "gamma_slack",
+    "validity_region",
+    "collision_free_probability_uniform",
+    "far_accept_upper_bound",
+    "RepeatedAndTester",
+    "repetitions_for_gap",
+    "amplified_gap",
+    "cp_constant",
+    "AndRuleParameters",
+    "ThresholdParameters",
+    "and_rule_parameters",
+    "threshold_parameters",
+    "CollisionCountTester",
+    "ChiSquareTester",
+    "EmpiricalL1Tester",
+]

@@ -1,0 +1,90 @@
+"""Gap amplification by AND-of-m repetition (Section 3.2.1 of the paper).
+
+A ``(δ', α)``-gap tester rejects the uniform distribution w.p. ≤ δ' and an
+ε-far one w.p. ≥ α·δ'.  Running ``m`` independent copies on *fresh* samples
+and rejecting iff **all copies reject** turns it into a
+``(δ'^m, α^m)``-gap tester:
+
+- uniform rejection ≤ ``δ'^m`` (independence),
+- far rejection ≥ ``(α·δ')^m = α^m · δ'^m``.
+
+The multiplicative gap is thus raised from ``α`` to ``α^m`` at the cost of
+``m×`` samples and a sharply smaller base rejection rate — exactly the
+trade-off Theorem 1.1 navigates when it needs each node's gap to reach the
+constant ``C_p`` while keeping ``k`` nodes' worth of uniform rejections
+below the global budget (Eq. 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.gap import CentralizedTester, GapSpec
+from repro.exceptions import ParameterError
+
+
+def repetitions_for_gap(base_alpha: float, target_gap: float) -> int:
+    """Smallest ``m`` with ``base_alpha^m ≥ target_gap``.
+
+    Theorem 1.1 uses ``m = log_{1+Θ(ε²)}(C_p) = Θ(C_p/ε²)`` repetitions; this
+    helper computes the exact integer for concrete parameters.
+    """
+    if base_alpha <= 1.0:
+        raise ParameterError(f"base_alpha must exceed 1, got {base_alpha}")
+    if target_gap <= 1.0:
+        return 1
+    return max(1, int(math.ceil(math.log(target_gap) / math.log(base_alpha))))
+
+
+def amplified_gap(spec: GapSpec, m: int) -> GapSpec:
+    """The ``(δ'^m, α^m)`` spec achieved by AND-of-*m* repetition of *spec*."""
+    if m < 1:
+        raise ParameterError(f"m must be >= 1, got {m}")
+    new_delta = spec.delta**m
+    new_alpha = spec.alpha**m
+    if new_alpha * new_delta > 1.0:
+        raise ParameterError("amplified parameters are inconsistent")
+    return GapSpec(delta=new_delta, alpha=new_alpha, eps=spec.eps)
+
+
+@dataclass(frozen=True)
+class RepeatedAndTester:
+    """AND-of-m amplification wrapper around any single-node tester.
+
+    Consumes ``m × base.samples_required`` samples per invocation, splits
+    them into ``m`` fresh batches, and **rejects iff every batch rejects**.
+    (Note the polarity: *accept* iff at least one batch accepted.)
+
+    This is the tester the paper calls "running ``A_δ'`` independently ``m``
+    times" — each network node in the Theorem 1.1 construction runs one
+    ``RepeatedAndTester``.
+    """
+
+    base: CentralizedTester
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ParameterError(f"m must be >= 1, got {self.m}")
+
+    @property
+    def samples_required(self) -> int:
+        """Total samples across all ``m`` repetitions."""
+        return self.m * self.base.samples_required
+
+    def decide(self, samples: np.ndarray) -> bool:
+        """Accept unless all ``m`` independent repetitions reject."""
+        arr = np.asarray(samples)
+        per = self.base.samples_required
+        if arr.size != self.m * per:
+            raise ParameterError(
+                f"expected {self.m}x{per} samples, got {arr.size}"
+            )
+        batches = arr.reshape(self.m, per)
+        for batch in batches:
+            if self.base.decide(batch):
+                return True
+        return False

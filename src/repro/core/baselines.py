@@ -1,0 +1,183 @@
+"""Centralized uniformity-testing baselines.
+
+The paper positions its single-collision tester against the classical
+centralized testers, which need ``Θ(√n/ε²)`` samples but achieve constant
+error on their own.  These are the comparators for benchmark E10:
+
+- :class:`CollisionCountTester` — the coincidence-based tester of
+  Goldreich–Ron / Paninski [21]: count pairwise collisions among ``s``
+  samples and compare to a threshold between the uniform expectation
+  ``binom(s,2)/n`` and the ε-far expectation ``binom(s,2)(1+ε²)/n``.
+- :class:`ChiSquareTester` — the unbiased-χ²-style statistic
+  ``Σ_x ((N_x − s/n)² − N_x)``, whose expectation is
+  ``s(s−1)·‖μ − U‖₂² ≥ 0`` with equality iff uniform.
+- :class:`EmpiricalL1Tester` — the naive plug-in: accept iff the empirical
+  distribution is L1-close to uniform.  Needs ``Θ(n/ε²)`` samples; included
+  to show why sub-linear testers matter.
+
+All three implement the
+:class:`~repro.core.gap.CentralizedTester` protocol so they can slot into
+the same experiment harnesses as the paper's tester.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+
+def count_collisions(samples: np.ndarray, n: int) -> int:
+    """Number of colliding *pairs* in the batch: ``Σ_x binom(N_x, 2)``."""
+    arr = np.asarray(samples, dtype=np.int64)
+    if arr.size == 0:
+        return 0
+    counts = np.bincount(arr, minlength=n)
+    return int((counts * (counts - 1) // 2).sum())
+
+
+def histogram(samples: np.ndarray, n: int) -> np.ndarray:
+    """Occurrence counts ``N_x`` over the full domain ``[n]``."""
+    arr = np.asarray(samples, dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() >= n):
+        raise ParameterError("samples out of domain")
+    return np.bincount(arr, minlength=n)
+
+
+@dataclass(frozen=True)
+class CollisionCountTester:
+    """Paninski-style collision-counting tester [21].
+
+    Accepts iff the number of colliding pairs is at most
+    ``binom(s,2)·(1 + ε²/2)/n`` — the midpoint between the uniform
+    expectation and the Lemma 3.2 far-side expectation.  Achieves constant
+    error with ``s = Θ(√n/ε²)``.
+
+    Attributes
+    ----------
+    n:
+        Domain size.
+    s:
+        Samples per invocation.
+    eps:
+        Distance parameter used to place the threshold.
+    """
+
+    n: int
+    s: int
+    eps: float
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.s < 2:
+            raise ParameterError(f"need n >= 1 and s >= 2, got {(self.n, self.s)}")
+        if not 0.0 < self.eps < 2.0:
+            raise ParameterError(f"eps must be in (0, 2), got {self.eps}")
+
+    @staticmethod
+    def with_standard_budget(n: int, eps: float, constant: float = 3.0) -> "CollisionCountTester":
+        """Instantiate at the classical budget ``s = constant·√n/ε²``."""
+        s = max(2, int(math.ceil(constant * math.sqrt(n) / (eps * eps))))
+        return CollisionCountTester(n=n, s=s, eps=eps)
+
+    @property
+    def samples_required(self) -> int:
+        return self.s
+
+    @property
+    def collision_threshold(self) -> float:
+        """Accept iff collisions ≤ this value."""
+        pairs = self.s * (self.s - 1) / 2.0
+        return pairs * (1.0 + self.eps * self.eps / 2.0) / self.n
+
+    def decide(self, samples: np.ndarray) -> bool:
+        arr = np.asarray(samples)
+        if arr.size != self.s:
+            raise ParameterError(f"tester calibrated for s={self.s}, got {arr.size}")
+        return count_collisions(arr, self.n) <= self.collision_threshold
+
+
+@dataclass(frozen=True)
+class ChiSquareTester:
+    """Unbiased χ²-style tester.
+
+    Statistic ``Z = Σ_x N_x(N_x − 1) − s(s−1)/n`` with
+    ``E[Z] = s(s−1)·‖μ − U_n‖₂²`` under i.i.d. draws — zero iff uniform, and
+    at least ``s(s−1)·ε²/n`` for ε-far ``μ`` (Lemma 3.2 again, since
+    ``‖μ − U‖₂² = χ(μ) − 1/n``).  Accepts iff ``Z ≤ s(s−1)·ε²/(2n)``.
+    """
+
+    n: int
+    s: int
+    eps: float
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.s < 2:
+            raise ParameterError(f"need n >= 1 and s >= 2, got {(self.n, self.s)}")
+        if not 0.0 < self.eps < 2.0:
+            raise ParameterError(f"eps must be in (0, 2), got {self.eps}")
+
+    @staticmethod
+    def with_standard_budget(n: int, eps: float, constant: float = 3.0) -> "ChiSquareTester":
+        """Instantiate at the classical budget ``s = constant·√n/ε²``."""
+        s = max(2, int(math.ceil(constant * math.sqrt(n) / (eps * eps))))
+        return ChiSquareTester(n=n, s=s, eps=eps)
+
+    @property
+    def samples_required(self) -> int:
+        return self.s
+
+    def statistic(self, samples: np.ndarray) -> float:
+        """The centred statistic ``Z`` (see class docstring)."""
+        counts = histogram(samples, self.n).astype(np.float64)
+        return float((counts * (counts - 1.0)).sum() - self.s * (self.s - 1) / self.n)
+
+    @property
+    def acceptance_threshold(self) -> float:
+        """Accept iff ``Z`` is at most this value."""
+        return self.s * (self.s - 1) * self.eps * self.eps / (2.0 * self.n)
+
+    def decide(self, samples: np.ndarray) -> bool:
+        arr = np.asarray(samples)
+        if arr.size != self.s:
+            raise ParameterError(f"tester calibrated for s={self.s}, got {arr.size}")
+        return self.statistic(arr) <= self.acceptance_threshold
+
+
+@dataclass(frozen=True)
+class EmpiricalL1Tester:
+    """Plug-in tester: accept iff ``‖empirical − U_n‖₁ ≤ ε/2``.
+
+    Requires ``s = Θ(n/ε²)`` samples for constant error — linear in the
+    domain, i.e. asymptotically useless, which is the point of including it.
+    """
+
+    n: int
+    s: int
+    eps: float
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.s < 1:
+            raise ParameterError(f"need n >= 1 and s >= 1, got {(self.n, self.s)}")
+        if not 0.0 < self.eps < 2.0:
+            raise ParameterError(f"eps must be in (0, 2), got {self.eps}")
+
+    @staticmethod
+    def with_standard_budget(n: int, eps: float, constant: float = 4.0) -> "EmpiricalL1Tester":
+        """Instantiate at the plug-in budget ``s = constant·n/ε²``."""
+        s = max(1, int(math.ceil(constant * n / (eps * eps))))
+        return EmpiricalL1Tester(n=n, s=s, eps=eps)
+
+    @property
+    def samples_required(self) -> int:
+        return self.s
+
+    def decide(self, samples: np.ndarray) -> bool:
+        arr = np.asarray(samples)
+        if arr.size != self.s:
+            raise ParameterError(f"tester calibrated for s={self.s}, got {arr.size}")
+        empirical = histogram(arr, self.n) / self.s
+        distance = float(np.abs(empirical - 1.0 / self.n).sum())
+        return distance <= self.eps / 2.0

@@ -1,0 +1,404 @@
+"""Numeric parameter solvers instantiating Theorems 1.1 and 1.2.
+
+The paper's statements are asymptotic (``Θ(·)``); to *run* the constructions
+at concrete ``(n, k, ε, p)`` we need actual integers: how many repetitions
+``m``, what base-tester sample count ``s``, what threshold ``T``.  The
+solvers here derive them from the exact finite inequalities rather than the
+asymptotic forms, via short fixed-point iterations on the γ slack of
+Eq. (1) (γ depends on δ, which depends on the chosen ``s``, which depends on
+γ).  When no setting satisfies the constraints — e.g. ``n`` too small for
+the requested ``k, ε`` — they raise
+:class:`~repro.exceptions.InfeasibleParametersError` with the violated
+inequality, instead of silently producing a tester with no guarantee.
+
+Closed-form asymptotic predictions (for plotting "paper curve vs measured")
+live in :mod:`repro.core.bounds`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.amplify import RepeatedAndTester
+from repro.core.collision import (
+    CollisionGapTester,
+    effective_delta,
+    gamma_slack,
+    sample_size_for_delta,
+)
+from repro.exceptions import InfeasibleParametersError, ParameterError
+
+#: Fixed-point iterations for the γ ↔ δ dependence; convergence is
+#: geometric, a dozen rounds is far more than needed.
+_MAX_FIXED_POINT_ITERS = 60
+
+
+def cp_constant(p: float) -> float:
+    """The paper's ``C_p = ln(1/p) / ln(1/(1−p))``.
+
+    This is the multiplicative gap each node's tester must reach in the
+    AND-rule construction.  For ``p = 1/3``, ``C_p ≈ 2.71``.
+    """
+    if not 0.0 < p < 1.0:
+        raise ParameterError(f"p must be in (0, 1), got {p}")
+    return math.log(1.0 / p) / math.log(1.0 / (1.0 - p))
+
+
+def _check_common(n: int, k: int, eps: float, p: float) -> None:
+    if n < 2:
+        raise ParameterError(f"n must be >= 2, got {n}")
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    if not 0.0 < eps < 2.0:
+        raise ParameterError(f"eps must be in (0, 2), got {eps}")
+    if not 0.0 < p < 1.0:
+        raise ParameterError(f"p must be in (0, 1), got {p}")
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1.1 — the AND decision rule
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AndRuleParameters:
+    """Concrete instantiation of the Theorem 1.1 construction.
+
+    Every node runs ``m`` independent copies of the collision tester with
+    ``s_per_repetition`` samples each and rejects iff **all copies reject**;
+    the network rejects iff **any node rejects** (the AND rule on
+    acceptances).
+
+    Attributes
+    ----------
+    n, k, eps, p:
+        Problem parameters: domain size, nodes, distance, error budget.
+    m:
+        Repetitions per node.
+    s_per_repetition:
+        Collision-tester samples per repetition.
+    samples_per_node:
+        ``m * s_per_repetition`` — the headline cost of Theorem 1.1.
+    delta_node:
+        Per-node uniform-rejection budget ``1 − (1−p)^{1/k}`` (so the whole
+        network accepts ``U_n`` w.p. exactly ``≥ 1−p``).
+    far_reject_needed:
+        Per-node far-rejection requirement ``1 − p^{1/k}``.
+    delta_prime:
+        Effective per-repetition δ after integer rounding of ``s``.
+    gamma:
+        γ slack (Eq. 1) of the base tester at this ``(n, s, ε)``.
+    """
+
+    n: int
+    k: int
+    eps: float
+    p: float
+    m: int
+    s_per_repetition: int
+    samples_per_node: int
+    delta_node: float
+    far_reject_needed: float
+    delta_prime: float
+    gamma: float
+
+    def build_node_tester(self) -> RepeatedAndTester:
+        """The tester each network node runs."""
+        base = CollisionGapTester(n=self.n, s=self.s_per_repetition)
+        return RepeatedAndTester(base=base, m=self.m)
+
+    @property
+    def uniform_reject_per_node(self) -> float:
+        """Proved bound on ``Pr[node rejects | uniform]`` = ``δ'^m``."""
+        return self.delta_prime**self.m
+
+    @property
+    def far_reject_per_node(self) -> float:
+        """Proved bound on ``Pr[node rejects | ε-far]`` = ``((1+γε²)δ')^m``."""
+        alpha = 1.0 + self.gamma * self.eps * self.eps
+        return (alpha * self.delta_prime) ** self.m
+
+    @property
+    def network_error_uniform(self) -> float:
+        """Proved bound on ``Pr[some node rejects | uniform]``."""
+        return 1.0 - (1.0 - self.uniform_reject_per_node) ** self.k
+
+    @property
+    def network_error_far(self) -> float:
+        """Proved bound on ``Pr[all nodes accept | ε-far]``."""
+        return (1.0 - self.far_reject_per_node) ** self.k
+
+
+def and_rule_parameters(n: int, k: int, eps: float, p: float = 1.0 / 3.0) -> AndRuleParameters:
+    """Solve for the Theorem 1.1 construction at concrete parameters.
+
+    Strategy (Section 3.2.1 made exact):
+
+    1. Completeness budget per node: ``δ_node = 1 − (1−p)^{1/k}`` makes the
+       network accept ``U_n`` w.p. exactly ``1 − p``.
+    2. Soundness requirement per node: ``r_far = 1 − p^{1/k}``.
+    3. The base collision tester has gap ``1 + γε²``; AND-of-m amplification
+       must cover the needed ratio, accounting for the loss from rounding
+       ``s`` down (effective ``δ'^m`` may undershoot ``δ_node``).  We iterate
+       ``m → δ' → s → γ → m`` until stable.
+
+    Raises
+    ------
+    InfeasibleParametersError
+        If γ ≤ 0 at the implied sample counts (``n`` too small for the
+        requested ``k, ε, p``) or the iteration cannot satisfy soundness.
+    """
+    _check_common(n, k, eps, p)
+    delta_node = 1.0 - (1.0 - p) ** (1.0 / k)
+    far_needed = 1.0 - p ** (1.0 / k)
+
+    best = None
+    for m in range(1, _MAX_FIXED_POINT_ITERS + 1):
+        # Completeness caps the per-repetition delta': delta'^m <= delta_node.
+        s_cap = sample_size_for_delta(n, delta_node ** (1.0 / m))
+        for s in range(2, s_cap + 1):
+            delta_prime = effective_delta(n, s)
+            if delta_prime**m > delta_node:
+                break
+            gamma = gamma_slack(n, s, eps)
+            if gamma <= 0.0:
+                # gamma is hump-shaped in s (the 1/s term dominates at the
+                # bottom, the sqrt(2delta') term at the top), so keep
+                # scanning: a later s may clear zero.
+                continue
+            alpha = 1.0 + gamma * eps * eps
+            if (alpha * delta_prime) ** m >= far_needed:
+                if best is None or m * s < best.samples_per_node:
+                    best = AndRuleParameters(
+                        n=n,
+                        k=k,
+                        eps=eps,
+                        p=p,
+                        m=m,
+                        s_per_repetition=s,
+                        samples_per_node=m * s,
+                        delta_node=delta_node,
+                        far_reject_needed=far_needed,
+                        delta_prime=delta_prime,
+                        gamma=gamma,
+                    )
+                break  # smallest feasible s for this m found
+    if best is None:
+        raise InfeasibleParametersError(
+            f"no (m, s) with m <= {_MAX_FIXED_POINT_ITERS} satisfies both "
+            f"completeness and soundness at n={n}, k={k}, eps={eps}, p={p}: "
+            "the AND rule needs larger k or eps (see Theorem 1.1's regime)"
+        )
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1.2 — the threshold decision rule
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ThresholdParameters:
+    """Concrete instantiation of the Theorem 1.2 construction.
+
+    Every node runs one collision tester ``A_δ`` with ``s`` samples; the
+    network rejects iff at least ``T`` nodes reject.  The threshold sits in
+    the Chernoff window of Eq. (5) between the expected rejection counts
+    ``η(U) ≤ kδ`` and ``η(μ) ≥ (1+γε²)kδ``.
+
+    Attributes
+    ----------
+    n, k, eps, p:
+        Problem parameters (``p`` bounds each error side).
+    s:
+        Samples per node.
+    delta:
+        Effective per-node δ after integer rounding of ``s``.
+    threshold:
+        The reject-count threshold ``T``.
+    gamma:
+        γ slack of Eq. (1) at these parameters.
+    eta_uniform, eta_far:
+        The two expectation bounds the threshold separates.
+    """
+
+    n: int
+    k: int
+    eps: float
+    p: float
+    s: int
+    delta: float
+    threshold: int
+    gamma: float
+    eta_uniform: float
+    eta_far: float
+
+    def build_node_tester(self) -> CollisionGapTester:
+        """The tester each network node runs (a single ``A_δ``)."""
+        return CollisionGapTester(n=self.n, s=self.s)
+
+    @property
+    def samples_per_node(self) -> int:
+        """Per-node sample cost — the headline of Theorem 1.2."""
+        return self.s
+
+    @property
+    def completeness_error_bound(self) -> float:
+        """Chernoff bound on ``Pr[R ≥ T | uniform]``."""
+        d = self.threshold - self.eta_uniform
+        if d <= 0:
+            return 1.0
+        return math.exp(-d * d / (3.0 * self.eta_uniform))
+
+    @property
+    def soundness_error_bound(self) -> float:
+        """Chernoff bound on ``Pr[R < T | ε-far]``."""
+        d = self.eta_far - self.threshold
+        if d <= 0:
+            return 1.0
+        return math.exp(-d * d / (2.0 * self.eta_far))
+
+
+def _threshold_window(n, k, s, eps, big_l):
+    """Eq. (5) window for a concrete per-node sample count ``s``.
+
+    Returns ``(delta, gamma, eta_uniform, eta_far, threshold)`` when the
+    Chernoff window contains an integer threshold, else ``None``.
+    """
+    delta = effective_delta(n, s)
+    gamma = gamma_slack(n, s, eps)
+    if gamma <= 0.0:
+        return None
+    eta_uniform = k * delta
+    eta_far = (1.0 + gamma * eps * eps) * k * delta
+    t_lo = eta_uniform + math.sqrt(3.0 * big_l * eta_uniform)
+    t_hi = eta_far - math.sqrt(2.0 * big_l * eta_far)
+    threshold = math.ceil((t_lo + t_hi) / 2.0)
+    if not t_lo <= threshold <= t_hi:
+        return None
+    return delta, gamma, eta_uniform, eta_far, float(threshold)
+
+
+def threshold_parameters(
+    n: int, k: int, eps: float, p: float = 1.0 / 3.0, slack: float = 1.05
+) -> ThresholdParameters:
+    """Solve for the Theorem 1.2 construction at concrete parameters.
+
+    Scans per-node sample counts ``s`` upward and returns the *smallest*
+    ``s`` whose Eq. (5) Chernoff window contains an integer threshold.
+    The scan sidesteps the γ ↔ δ circularity (γ is evaluated exactly at
+    each candidate ``s``), and minimising ``s`` directly is exactly the
+    theorem's objective.  ``slack`` widens the window requirement: the
+    chosen ``s`` must clear the bare feasibility budget by a factor
+    ``slack``, giving the mid-window threshold breathing room.
+
+    Raises
+    ------
+    InfeasibleParametersError
+        If no ``s`` up to the δ = 1/2 point yields a non-empty window —
+        which happens exactly when ``n`` is too small for the requested
+        ``(k, ε, p)``.
+    """
+    _check_common(n, k, eps, p)
+    if slack < 1.0:
+        raise ParameterError(f"slack must be >= 1, got {slack}")
+    big_l = math.log(1.0 / p)
+
+    # delta <= 1/2 bounds the useful range of s: beyond it a *single* node
+    # already sees collisions constantly and the gap analysis is void.
+    s_max = sample_size_for_delta(n, 0.5)
+    best = None
+    for s in range(2, s_max + 1):
+        window = _threshold_window(n, k, s, eps, big_l)
+        if window is None:
+            continue
+        delta, gamma, eta_u, eta_f, threshold = window
+        # Enforce the slack margin: the chosen budget must clear the bare
+        # Chernoff feasibility point by the `slack` factor (robustness to
+        # integer rounding and Monte-Carlo noise).
+        g = gamma * eps * eps
+        k_delta_min = (
+            (math.sqrt(3.0 * big_l) + math.sqrt(2.0 * big_l * (1.0 + g))) / g
+        ) ** 2
+        if k * delta < slack * k_delta_min:
+            continue
+        best = (s, delta, gamma, eta_u, eta_f, int(threshold))
+        break
+    if best is None:
+        raise InfeasibleParametersError(
+            f"no per-node sample count s in [2, {s_max}] satisfies the "
+            f"Eq. (5) window at n={n}, k={k}, eps={eps}, p={p}: increase n "
+            "or k, or relax eps/p"
+        )
+    s, delta, gamma, eta_uniform, eta_far, threshold = best
+    return ThresholdParameters(
+        n=n,
+        k=k,
+        eps=eps,
+        p=p,
+        s=s,
+        delta=delta,
+        threshold=threshold,
+        gamma=gamma,
+        eta_uniform=eta_uniform,
+        eta_far=eta_far,
+    )
+
+
+def threshold_parameters_exact(
+    n: int, k: int, eps: float, p: float = 1.0 / 3.0
+) -> ThresholdParameters:
+    """Theorem 1.2 solver with exact binomial tails instead of Chernoff.
+
+    Same proof structure as :func:`threshold_parameters` — the alarm count
+    under uniform is dominated by ``Bin(k, p_u)`` with
+    ``p_u = 1 − ∏(1−i/n)`` (exact), and under any ε-far distribution
+    dominates ``Bin(k, p_f)`` with ``p_f`` from Lemma 3.3 — but the
+    threshold is placed by exact tail evaluation rather than the Chernoff
+    bounds of Eq. (5).  The guarantee is identical in kind; the constants
+    are far smaller, so much smaller networks become provably feasible
+    (benchmark E12 quantifies the gap).  Returns the same
+    :class:`ThresholdParameters` shape; the ``gamma``/``eta`` fields
+    report the analysis quantities for comparison.
+    """
+    from repro.core.binomial import find_separating_threshold
+    from repro.core.collision import (
+        collision_free_probability_uniform,
+        far_accept_upper_bound,
+    )
+
+    import math as _math
+
+    _check_common(n, k, eps, p)
+    s_max = sample_size_for_delta(n, 0.5)
+    for s in range(2, s_max + 1):
+        p_uniform = 1.0 - collision_free_probability_uniform(n, s)
+        p_far = 1.0 - far_accept_upper_bound((1.0 + eps * eps) / n, s)
+        if p_far <= p_uniform:
+            continue
+        # Cheap prescreen: the means must part by ~a standard deviation
+        # before exact tails can possibly separate at constant error.
+        mean_gap = k * (p_far - p_uniform)
+        sigma_sum = _math.sqrt(k * p_uniform) + _math.sqrt(k * p_far)
+        if mean_gap < 0.5 * sigma_sum:
+            continue
+        threshold = find_separating_threshold(k, p_uniform, p_far, p)
+        if threshold is None:
+            continue
+        return ThresholdParameters(
+            n=n,
+            k=k,
+            eps=eps,
+            p=p,
+            s=s,
+            delta=effective_delta(n, s),
+            threshold=threshold,
+            gamma=gamma_slack(n, s, eps),
+            eta_uniform=k * p_uniform,
+            eta_far=k * p_far,
+        )
+    raise InfeasibleParametersError(
+        f"no per-node sample count s in [2, {s_max}] separates the exact "
+        f"alarm tails at n={n}, k={k}, eps={eps}, p={p}"
+    )

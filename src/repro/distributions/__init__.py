@@ -1,0 +1,95 @@
+"""Discrete-distribution toolkit.
+
+This subpackage is the substrate every tester in the library stands on: an
+immutable :class:`DiscreteDistribution` type over the domain ``{0, ..., n-1}``
+(the paper's ``{1, ..., n}``, zero-indexed), distance functionals, a zoo of
+certified ε-far families, seeded sampling oracles, and the classical
+identity-to-uniformity *filter* reduction that the paper's introduction
+invokes ("each node can independently apply [the filter] to its samples").
+
+Public surface
+--------------
+- :class:`~repro.distributions.base.DiscreteDistribution`
+- distances: :func:`~repro.distributions.distances.l1_distance`,
+  :func:`~repro.distributions.distances.total_variation`,
+  :func:`~repro.distributions.distances.l2_distance`,
+  :func:`~repro.distributions.distances.kl_divergence`,
+  :func:`~repro.distributions.distances.chi_square_divergence`,
+  :func:`~repro.distributions.distances.collision_probability`,
+  :func:`~repro.distributions.distances.l1_distance_to_uniform`
+- families: :func:`~repro.distributions.families.uniform`,
+  :func:`~repro.distributions.families.paninski_pair`,
+  :func:`~repro.distributions.families.two_bump`,
+  :func:`~repro.distributions.families.heavy_element`,
+  :func:`~repro.distributions.families.restricted_support`,
+  :func:`~repro.distributions.families.zipf`,
+  :func:`~repro.distributions.families.mixture`,
+  :func:`~repro.distributions.families.far_family`,
+  :func:`~repro.distributions.families.FAR_FAMILY_BUILDERS`
+- sampling: :class:`~repro.distributions.sampler.SampleOracle`,
+  :class:`~repro.distributions.sampler.CountingOracle`
+- identity reduction: :class:`~repro.distributions.identity.IdentityFilter`,
+  :func:`~repro.distributions.identity.grain`
+"""
+
+from repro.distributions.base import DiscreteDistribution
+from repro.distributions.distances import (
+    chi_square_divergence,
+    collision_probability,
+    hellinger_distance,
+    kl_divergence,
+    l1_distance,
+    l1_distance_to_uniform,
+    l2_distance,
+    total_variation,
+)
+from repro.distributions.families import (
+    FAR_FAMILY_BUILDERS,
+    far_family,
+    heavy_element,
+    mixture,
+    paninski_pair,
+    restricted_support,
+    two_bump,
+    uniform,
+    zipf,
+)
+from repro.distributions.estimators import (
+    bootstrap_ci,
+    collision_probability_estimate,
+    empirical_distribution,
+    l1_bracket_from_l2,
+    l2_distance_to_uniform_estimate,
+)
+from repro.distributions.identity import IdentityFilter, grain
+from repro.distributions.sampler import CountingOracle, SampleOracle
+
+__all__ = [
+    "DiscreteDistribution",
+    "l1_distance",
+    "l1_distance_to_uniform",
+    "total_variation",
+    "l2_distance",
+    "kl_divergence",
+    "chi_square_divergence",
+    "hellinger_distance",
+    "collision_probability",
+    "uniform",
+    "paninski_pair",
+    "two_bump",
+    "heavy_element",
+    "restricted_support",
+    "zipf",
+    "mixture",
+    "far_family",
+    "FAR_FAMILY_BUILDERS",
+    "SampleOracle",
+    "CountingOracle",
+    "IdentityFilter",
+    "grain",
+    "empirical_distribution",
+    "collision_probability_estimate",
+    "l2_distance_to_uniform_estimate",
+    "l1_bracket_from_l2",
+    "bootstrap_ci",
+]

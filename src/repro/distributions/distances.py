@@ -1,0 +1,130 @@
+"""Distance and divergence functionals between discrete distributions.
+
+The paper measures "far from uniform" in ``L1`` distance
+(``Σ_ω |μ(ω) − 1/n|``, i.e. twice the total-variation distance), and its
+analyses use the ``L2`` connection of Lemma 3.2 and the KL-divergence
+machinery of Lemma 2.1.  All of those functionals live here, operating on
+:class:`~repro.distributions.base.DiscreteDistribution` or raw vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.distributions.base import DiscreteDistribution
+from repro.exceptions import InvalidDistributionError
+
+VectorLike = Union[DiscreteDistribution, np.ndarray]
+
+
+def _as_probs(dist: VectorLike) -> np.ndarray:
+    """Extract a validated probability vector from *dist*."""
+    if isinstance(dist, DiscreteDistribution):
+        return dist.probs
+    arr = np.asarray(dist, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise InvalidDistributionError("expected a non-empty 1-D probability vector")
+    return arr
+
+
+def _check_same_domain(p: np.ndarray, q: np.ndarray) -> None:
+    if p.shape != q.shape:
+        raise InvalidDistributionError(
+            f"distributions live on different domains: {p.shape} vs {q.shape}"
+        )
+
+
+def l1_distance(p: VectorLike, q: VectorLike) -> float:
+    """``‖p − q‖₁ = Σ_x |p(x) − q(x)|`` (the paper's distance; in [0, 2])."""
+    pa, qa = _as_probs(p), _as_probs(q)
+    _check_same_domain(pa, qa)
+    return float(np.abs(pa - qa).sum())
+
+
+def total_variation(p: VectorLike, q: VectorLike) -> float:
+    """Total-variation distance, ``½‖p − q‖₁`` (in [0, 1])."""
+    return 0.5 * l1_distance(p, q)
+
+
+def l2_distance(p: VectorLike, q: VectorLike) -> float:
+    """Euclidean distance ``‖p − q‖₂``."""
+    pa, qa = _as_probs(p), _as_probs(q)
+    _check_same_domain(pa, qa)
+    return float(np.sqrt(((pa - qa) ** 2).sum()))
+
+
+def l1_distance_to_uniform(p: VectorLike) -> float:
+    """``‖p − U_n‖₁`` where ``n`` is *p*'s domain size."""
+    pa = _as_probs(p)
+    return float(np.abs(pa - 1.0 / pa.size).sum())
+
+
+def kl_divergence(p: VectorLike, q: VectorLike) -> float:
+    """Kullback–Leibler divergence ``D(p ‖ q)`` in nats.
+
+    Returns ``inf`` if *p* puts mass where *q* does not.  This is the
+    divergence used by the paper's Lemma 2.1 and the Equality lower bound.
+    """
+    pa, qa = _as_probs(p), _as_probs(q)
+    _check_same_domain(pa, qa)
+    mask = pa > 0
+    if np.any(qa[mask] <= 0):
+        return float("inf")
+    # log(p) - log(q) avoids overflow when q is denormal-small.
+    return float(np.sum(pa[mask] * (np.log(pa[mask]) - np.log(qa[mask]))))
+
+
+def chi_square_divergence(p: VectorLike, q: VectorLike) -> float:
+    """χ²-divergence ``Σ_x (p(x) − q(x))² / q(x)``.
+
+    Infinite when *p* has mass outside *q*'s support.
+    """
+    pa, qa = _as_probs(p), _as_probs(q)
+    _check_same_domain(pa, qa)
+    if np.any((qa <= 0) & (pa > 0)):
+        return float("inf")
+    mask = qa > 0
+    diff = pa[mask] - qa[mask]
+    return float(np.sum(diff * diff / qa[mask]))
+
+
+def hellinger_distance(p: VectorLike, q: VectorLike) -> float:
+    """Hellinger distance ``(½ Σ (√p − √q)²)^{1/2}`` (in [0, 1])."""
+    pa, qa = _as_probs(p), _as_probs(q)
+    _check_same_domain(pa, qa)
+    return float(np.sqrt(0.5 * np.sum((np.sqrt(pa) - np.sqrt(qa)) ** 2)))
+
+
+def collision_probability(p: VectorLike) -> float:
+    """``χ(p) = Σ_x p(x)²`` -- probability two i.i.d. samples collide.
+
+    Lemma 3.2 of the paper: ``‖p − U_n‖₁ ≥ ε`` implies ``χ(p) > (1+ε²)/n``;
+    the uniform distribution achieves the minimum ``1/n``.
+    """
+    if isinstance(p, DiscreteDistribution):
+        return p.collision_probability()
+    pa = _as_probs(p)
+    return float(np.dot(pa, pa))
+
+
+def bernoulli_kl(p: float, q: float) -> float:
+    """KL divergence between Bernoulli(p) and Bernoulli(q), in nats.
+
+    Handles the boundary cases: ``0·log 0 = 0``; mass where the other
+    distribution has none gives ``inf``.  Used to verify the paper's
+    Lemma 2.1 numerically.
+    """
+    if not 0.0 <= p <= 1.0 or not 0.0 <= q <= 1.0:
+        raise ValueError(f"Bernoulli parameters must be in [0, 1], got {(p, q)}")
+    terms = 0.0
+    if p > 0:
+        if q <= 0:
+            return float("inf")
+        terms += p * np.log(p / q)
+    if p < 1:
+        if q >= 1:
+            return float("inf")
+        terms += (1 - p) * np.log((1 - p) / (1 - q))
+    return float(terms)

@@ -1,0 +1,109 @@
+"""Estimating distribution functionals from samples.
+
+The testers decide a promise problem; operators usually also want a
+*number* — "how far from uniform is the traffic right now?".  This module
+provides the standard sample-based estimators:
+
+- :func:`empirical_distribution` — the plug-in histogram.
+- :func:`collision_probability_estimate` — the unbiased U-statistic
+  ``Σ N_x(N_x−1) / (s(s−1))`` for ``χ(μ) = Σ μ(x)²``.
+- :func:`l2_distance_to_uniform_estimate` — the unbiased-in-χ plug-in
+  ``√(max(0, χ̂ − 1/n))``; recall ``‖μ−U‖₂² = χ(μ) − 1/n``.
+- :func:`l1_bracket_from_l2` — the norm sandwich
+  ``‖·‖₂ ≤ ‖·‖₁ ≤ √n·‖·‖₂`` turned into an L1 bracket, the honest
+  statement a sub-linear sample budget supports.
+- :func:`bootstrap_ci` — percentile bootstrap for any statistic of the
+  sample batch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.distributions.base import DiscreteDistribution
+from repro.exceptions import ParameterError
+from repro.rng import SeedLike, ensure_rng
+
+
+def empirical_distribution(samples: np.ndarray, n: int) -> DiscreteDistribution:
+    """The plug-in histogram distribution over ``[n]``."""
+    arr = np.asarray(samples, dtype=np.int64)
+    if arr.size == 0:
+        raise ParameterError("need at least one sample")
+    if arr.min() < 0 or arr.max() >= n:
+        raise ParameterError("samples out of domain")
+    counts = np.bincount(arr, minlength=n)
+    return DiscreteDistribution(counts / arr.size, name="empirical")
+
+
+def collision_probability_estimate(samples: np.ndarray, n: int) -> float:
+    """Unbiased estimate of ``χ(μ)``: ``Σ_x N_x(N_x−1) / (s(s−1))``.
+
+    This is the U-statistic over sample pairs; ``E[χ̂] = χ(μ)`` exactly.
+    Requires at least two samples.
+    """
+    arr = np.asarray(samples, dtype=np.int64)
+    s = arr.size
+    if s < 2:
+        raise ParameterError(f"need >= 2 samples, got {s}")
+    if arr.min() < 0 or arr.max() >= n:
+        raise ParameterError("samples out of domain")
+    counts = np.bincount(arr, minlength=n).astype(np.float64)
+    return float((counts * (counts - 1.0)).sum() / (s * (s - 1.0)))
+
+
+def l2_distance_to_uniform_estimate(samples: np.ndarray, n: int) -> float:
+    """Estimate ``‖μ − U_n‖₂ = √(χ(μ) − 1/n)`` (clipped at zero).
+
+    The inner estimate is unbiased in χ; the square root introduces the
+    usual small-sample downward bias, quantifiable with
+    :func:`bootstrap_ci`.
+    """
+    chi_hat = collision_probability_estimate(samples, n)
+    return math.sqrt(max(0.0, chi_hat - 1.0 / n))
+
+
+def l1_bracket_from_l2(l2_estimate: float, n: int) -> Tuple[float, float]:
+    """The L1 bracket implied by an L2 estimate: ``[ℓ₂, min(2, √n·ℓ₂)]``.
+
+    With ``o(n)`` samples the L1 distance itself is not estimable; the
+    norm sandwich is the honest deliverable.  The upper end is clipped at
+    the maximum possible L1 distance, 2.
+    """
+    if l2_estimate < 0:
+        raise ParameterError(f"l2 estimate must be >= 0, got {l2_estimate}")
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    return l2_estimate, min(2.0, math.sqrt(n) * l2_estimate)
+
+
+def bootstrap_ci(
+    samples: np.ndarray,
+    statistic: Callable[[np.ndarray], float],
+    level: float = 0.95,
+    resamples: int = 200,
+    rng: SeedLike = None,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for *statistic*.
+
+    Resamples the batch with replacement *resamples* times and returns the
+    ``(1±level)/2`` percentiles of the statistic's bootstrap distribution.
+    """
+    arr = np.asarray(samples)
+    if arr.size < 2:
+        raise ParameterError("need >= 2 samples to bootstrap")
+    if not 0.0 < level < 1.0:
+        raise ParameterError(f"level must be in (0, 1), got {level}")
+    if resamples < 10:
+        raise ParameterError(f"resamples must be >= 10, got {resamples}")
+    gen = ensure_rng(rng)
+    values = np.empty(resamples, dtype=np.float64)
+    for b in range(resamples):
+        idx = gen.integers(0, arr.size, size=arr.size)
+        values[b] = statistic(arr[idx])
+    lo = float(np.percentile(values, 100 * (1 - level) / 2))
+    hi = float(np.percentile(values, 100 * (1 + level) / 2))
+    return lo, hi

@@ -1,0 +1,122 @@
+"""Sample oracles: the only interface testers get to the unknown distribution.
+
+In the paper, a node's entire knowledge of ``μ`` is a batch of i.i.d.
+samples.  Wrapping sampling in an oracle object (instead of handing testers
+the :class:`~repro.distributions.base.DiscreteDistribution` directly) keeps
+the information boundary honest and lets experiments *account* for samples:
+the lower-bound benchmarks need to know exactly how many draws an algorithm
+consumed, and the asymmetric-cost model (Section 4) charges ``c_i`` per draw.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.distributions.base import DiscreteDistribution
+from repro.rng import SeedLike, ensure_rng
+
+
+class SampleOracle:
+    """Draws i.i.d. samples from a fixed underlying distribution.
+
+    Parameters
+    ----------
+    distribution:
+        The hidden ``μ``.
+    rng:
+        Seed or generator for the oracle's own randomness.
+
+    Notes
+    -----
+    Oracles are cheap; create one per simulated node (with a spawned child
+    generator) so node sample streams are independent, exactly as in the
+    paper's model where each node draws its own samples.
+    """
+
+    def __init__(self, distribution: DiscreteDistribution, rng: SeedLike = None) -> None:
+        self._distribution = distribution
+        self._rng = ensure_rng(rng)
+
+    @property
+    def domain_size(self) -> int:
+        """``n = |Ω|`` -- the one piece of prior knowledge testers have."""
+        return self._distribution.n
+
+    def draw(self, count: int) -> np.ndarray:
+        """Draw *count* fresh i.i.d. samples from the hidden distribution."""
+        return self._distribution.sample(count, self._rng)
+
+    def split(self, parts: int) -> "list[SampleOracle]":
+        """Create *parts* oracles over the same distribution with independent
+        randomness -- one per simulated node."""
+        if parts < 0:
+            raise ValueError(f"parts must be >= 0, got {parts}")
+        seeds = self._rng.integers(0, 2**63 - 1, size=parts)
+        return [
+            SampleOracle(self._distribution, int(seed)) for seed in seeds
+        ]
+
+
+class CountingOracle(SampleOracle):
+    """A :class:`SampleOracle` that records how many samples were drawn.
+
+    Optionally charges a per-sample *cost* (the Section 4 model); the running
+    total is exposed as :attr:`total_cost`.
+
+    Examples
+    --------
+    >>> from repro.distributions import uniform
+    >>> oracle = CountingOracle(uniform(100), rng=0, cost_per_sample=2.0)
+    >>> _ = oracle.draw(5)
+    >>> oracle.samples_drawn, oracle.total_cost
+    (5, 10.0)
+    """
+
+    def __init__(
+        self,
+        distribution: DiscreteDistribution,
+        rng: SeedLike = None,
+        cost_per_sample: float = 1.0,
+        budget: Optional[int] = None,
+    ) -> None:
+        super().__init__(distribution, rng)
+        if cost_per_sample <= 0:
+            raise ValueError(f"cost_per_sample must be positive, got {cost_per_sample}")
+        if budget is not None and budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        self._cost_per_sample = float(cost_per_sample)
+        self._budget = budget
+        self._samples_drawn = 0
+
+    @property
+    def samples_drawn(self) -> int:
+        """Total number of samples drawn so far."""
+        return self._samples_drawn
+
+    @property
+    def cost_per_sample(self) -> float:
+        """The Section 4 per-sample cost ``c_i``."""
+        return self._cost_per_sample
+
+    @property
+    def total_cost(self) -> float:
+        """``samples_drawn * cost_per_sample`` -- node *i*'s total cost."""
+        return self._samples_drawn * self._cost_per_sample
+
+    @property
+    def remaining_budget(self) -> Optional[int]:
+        """Samples left before the budget is exhausted (``None`` = unlimited)."""
+        if self._budget is None:
+            return None
+        return self._budget - self._samples_drawn
+
+    def draw(self, count: int) -> np.ndarray:
+        if self._budget is not None and self._samples_drawn + count > self._budget:
+            raise RuntimeError(
+                f"sample budget exceeded: {self._samples_drawn} drawn, "
+                f"{count} requested, budget {self._budget}"
+            )
+        self._samples_drawn += count
+        return super().draw(count)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by library code derive from :class:`ReproError`, so
+callers can catch everything from this package with a single ``except``
+clause.  Each subclass names a distinct failure domain:
+
+- :class:`InvalidDistributionError` -- a probability vector is malformed
+  (negative mass, does not sum to one, empty domain, ...).
+- :class:`ParameterError` -- tester or protocol parameters are outside the
+  regime in which the paper's guarantees (or our numeric solvers) apply.
+- :class:`InfeasibleParametersError` -- a parameter *solver* proved that no
+  setting satisfies the requested completeness/soundness constraints (for
+  example, Eq. (5) of the paper admits no threshold ``T``).
+- :class:`SimulationError` -- the synchronous network simulator detected a
+  protocol bug (message to a non-neighbour, node stepping after halting).
+- :class:`BandwidthExceededError` -- a CONGEST message exceeded the per-edge
+  per-round bit budget.
+- :class:`CodingError` -- error-correcting-code construction or encoding
+  failed (e.g. message length does not match the code dimension).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidDistributionError(ReproError, ValueError):
+    """A probability vector is malformed."""
+
+
+class ParameterError(ReproError, ValueError):
+    """Tester/protocol parameters are invalid or outside the valid regime."""
+
+
+class InfeasibleParametersError(ParameterError):
+    """No parameter setting satisfies the requested guarantees.
+
+    Raised by numeric solvers (e.g. the threshold solver for Eq. (5)) when
+    the constraint system is provably empty for the given ``n``, ``k``,
+    ``eps`` and error budget.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The network simulator detected an illegal protocol action."""
+
+
+class BandwidthExceededError(SimulationError):
+    """A message exceeded the CONGEST per-edge bandwidth limit."""
+
+
+class CodingError(ReproError, ValueError):
+    """Error-correcting-code construction or encoding failed."""

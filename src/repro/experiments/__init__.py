@@ -1,0 +1,44 @@
+"""Experiment harness: seeded trials, error estimation, tables, sweeps.
+
+Shared infrastructure for the benchmark suite (``benchmarks/bench_e*.py``)
+and the examples:
+
+- :mod:`repro.experiments.stats` — Monte-Carlo error estimation with
+  Wilson confidence intervals, and the empirical sample-complexity search
+  used to sandwich measured costs between the paper's bounds.
+- :mod:`repro.experiments.runner` — deterministic per-configuration trial
+  loops keyed by (seed, labels).
+- :mod:`repro.experiments.tables` — plain-ASCII table rendering for
+  benchmark output (the repo's stand-in for the paper's tables).
+- :mod:`repro.experiments.sweeps` — parameter grids and log-log slope
+  fitting for scaling-shape checks (e.g. "samples ∝ k^{−1/2}").
+"""
+
+from repro.experiments.runner import TrialRunner, estimate_probability
+from repro.experiments.stats import (
+    ErrorEstimate,
+    empirical_sample_complexity,
+    estimate,
+    wilson_interval,
+)
+from repro.experiments.sweeps import (
+    geometric_grid,
+    geometric_int_grid,
+    loglog_slope,
+    relative_spread,
+)
+from repro.experiments.tables import Table
+
+__all__ = [
+    "TrialRunner",
+    "estimate_probability",
+    "ErrorEstimate",
+    "estimate",
+    "wilson_interval",
+    "empirical_sample_complexity",
+    "Table",
+    "geometric_grid",
+    "geometric_int_grid",
+    "loglog_slope",
+    "relative_spread",
+]

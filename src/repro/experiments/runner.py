@@ -1,0 +1,62 @@
+"""Deterministic trial loops.
+
+Every benchmark measurement reduces to "run this boolean experiment T
+times and count failures".  :class:`TrialRunner` keys every trial's
+randomness to ``(base seed, configuration labels, trial index)`` via
+:func:`repro.rng.derive`, so a single sweep point can be re-run in
+isolation and reproduce exactly — independent of sweep order or
+parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.experiments.stats import ErrorEstimate, estimate
+from repro.rng import derive
+
+
+@dataclass(frozen=True)
+class TrialRunner:
+    """Runs seeded boolean trials for one experiment.
+
+    Parameters
+    ----------
+    base_seed:
+        Root seed of the whole experiment.
+    """
+
+    base_seed: int
+
+    def error_rate(
+        self,
+        experiment: Callable[[np.random.Generator], bool],
+        trials: int,
+        *labels: Union[str, int],
+    ) -> ErrorEstimate:
+        """Fraction of trials where *experiment* returns ``True`` (= error).
+
+        Each trial receives a generator derived from
+        ``(base_seed, *labels, trial_index)``.
+        """
+        if trials < 1:
+            raise ParameterError(f"trials must be >= 1, got {trials}")
+        failures = 0
+        for t in range(trials):
+            rng = derive(self.base_seed, *labels, t)
+            if experiment(rng):
+                failures += 1
+        return estimate(failures, trials)
+
+
+def estimate_probability(
+    experiment: Callable[[np.random.Generator], bool],
+    trials: int,
+    seed: int = 0,
+) -> ErrorEstimate:
+    """One-off convenience wrapper around :class:`TrialRunner`."""
+    return TrialRunner(base_seed=seed).error_rate(experiment, trials, "adhoc")

@@ -1,0 +1,96 @@
+"""Statistical helpers for the experiment harness.
+
+Monte-Carlo estimates of error probabilities come with Wilson confidence
+intervals so benchmark tables can state "error ≤ 1/3" with an uncertainty
+attached, and :func:`empirical_sample_complexity` binary-searches the
+smallest sample count at which a tester family reaches a target error —
+the measured curve that the paper's upper/lower bounds must sandwich
+(benchmark E9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True)
+class ErrorEstimate:
+    """A Monte-Carlo error-rate estimate with its Wilson 95% interval."""
+
+    failures: int
+    trials: int
+    low: float
+    high: float
+
+    @property
+    def rate(self) -> float:
+        """Point estimate ``failures / trials``."""
+        return self.failures / self.trials
+
+    def __str__(self) -> str:
+        return f"{self.rate:.3f} [{self.low:.3f}, {self.high:.3f}]"
+
+
+def wilson_interval(
+    failures: int, trials: int, z: float = 1.959964
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Better behaved than the normal approximation at the extreme rates the
+    gap testers live at (δ ≈ 0.01).
+    """
+    if trials < 1:
+        raise ParameterError(f"trials must be >= 1, got {trials}")
+    if not 0 <= failures <= trials:
+        raise ParameterError(f"failures must be in [0, {trials}], got {failures}")
+    p_hat = failures / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    centre = (p_hat + z2 / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z2 / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+def estimate(failures: int, trials: int) -> ErrorEstimate:
+    """Wrap a raw count into an :class:`ErrorEstimate`."""
+    low, high = wilson_interval(failures, trials)
+    return ErrorEstimate(failures=failures, trials=trials, low=low, high=high)
+
+
+def empirical_sample_complexity(
+    error_at: Callable[[int], float],
+    target_error: float,
+    s_min: int = 2,
+    s_max: int = 1 << 20,
+) -> Optional[int]:
+    """Smallest ``s`` with ``error_at(s) <= target_error`` (binary search).
+
+    Assumes ``error_at`` is (noisily) non-increasing in ``s``, which holds
+    for every tester family in this library once past the degenerate range.
+    Returns ``None`` when even ``s_max`` misses the target.
+
+    ``error_at`` is typically a Monte-Carlo estimator; callers control the
+    noise floor through its trial count.
+    """
+    if not 0.0 < target_error < 1.0:
+        raise ParameterError(f"target_error must be in (0, 1), got {target_error}")
+    if s_min < 1 or s_max < s_min:
+        raise ParameterError(f"bad search range [{s_min}, {s_max}]")
+    if error_at(s_max) > target_error:
+        return None
+    lo, hi = s_min, s_max
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if error_at(mid) <= target_error:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

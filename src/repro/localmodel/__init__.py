@@ -1,0 +1,37 @@
+"""LOCAL-model uniformity testing (Section 6 of the paper).
+
+Strategy: find a maximal independent set of the power graph ``G^r`` with
+Luby's algorithm (each MIS phase on ``G^r`` costs ``r`` rounds of ``G``),
+route every node's sample to a nearby MIS node (≤ ``r`` rounds — LOCAL
+messages are unbounded), and run the 0-round AND-rule tester of
+Theorem 1.1 over the MIS nodes as virtual nodes.  Each MIS node collects at
+least ``r/2`` samples (its ``r/2``-ball is exclusively its own), and there
+are at most ``⌊2k/r⌋`` MIS nodes.
+
+- :mod:`repro.localmodel.mis` — Luby's MIS as a message-passing program.
+- :mod:`repro.localmodel.gather` — catchment assignment and sample routing.
+- :mod:`repro.localmodel.tester` — the end-to-end Section 6 tester.
+"""
+
+from repro.localmodel.gather import GatherResult, assign_catchments
+from repro.localmodel.gather_protocol import (
+    GatherProgram,
+    ProtocolGatherResult,
+    run_gather_protocol,
+)
+from repro.localmodel.mis import LubyMISProgram, luby_mis, verify_mis
+from repro.localmodel.tester import LocalPlan, LocalTestReport, LocalUniformityTester
+
+__all__ = [
+    "LubyMISProgram",
+    "luby_mis",
+    "verify_mis",
+    "assign_catchments",
+    "GatherResult",
+    "GatherProgram",
+    "ProtocolGatherResult",
+    "run_gather_protocol",
+    "LocalUniformityTester",
+    "LocalTestReport",
+    "LocalPlan",
+]

@@ -1,0 +1,34 @@
+"""Continuous monitoring on top of the 0-round testers.
+
+The paper's motivating deployments (DoS watchdogs, sensor plants) are not
+one-shot hypothesis tests: the network watches a *stream* of epochs, and
+the operator cares about incidents — sustained deviations — rather than
+single-epoch verdicts.  This package provides that production layer:
+
+- :mod:`repro.monitoring.stream` — synthetic epoch streams: stationary,
+  drifting, and attack-window scenarios over any base distribution.
+- :mod:`repro.monitoring.monitor` — :class:`UniformityMonitor`, which
+  runs the Theorem 1.2 threshold network every epoch and applies alarm
+  hysteresis (raise after ``raise_after`` consecutive alarming epochs,
+  clear after ``clear_after`` quiet ones), turning the tester's ≤ 1/3
+  per-epoch error into an incident-level false-positive rate that decays
+  geometrically in ``raise_after``.
+"""
+
+from repro.monitoring.monitor import Incident, MonitorReport, UniformityMonitor
+from repro.monitoring.stream import (
+    AttackWindowStream,
+    DriftStream,
+    EpochStream,
+    StationaryStream,
+)
+
+__all__ = [
+    "EpochStream",
+    "StationaryStream",
+    "DriftStream",
+    "AttackWindowStream",
+    "UniformityMonitor",
+    "MonitorReport",
+    "Incident",
+]

@@ -1,0 +1,140 @@
+"""The epoch monitor: threshold-network testing plus alarm hysteresis.
+
+Per epoch, the whole network executes one Theorem 1.2 trial (every node
+fresh-samples and votes; the alarm count is compared to ``T``).  A single
+epoch's verdict errs with probability up to 1/3; the monitor therefore
+raises an **incident** only after ``raise_after`` consecutive alarming
+epochs and clears it after ``clear_after`` consecutive quiet ones.  Since
+epoch verdicts are independent given the stream, the false-incident rate
+per healthy epoch is at most ``(1/3)^{raise_after}`` and the
+missed-detection rate during a sustained deviation is at most
+``(1/3)^{clear_after}`` — the standard hysteresis trade-off, measurable
+with :meth:`UniformityMonitor.run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.exceptions import ParameterError
+from repro.monitoring.stream import EpochStream
+from repro.rng import SeedLike, ensure_rng
+from repro.zeroround.threshold_tester import ThresholdNetworkTester
+
+
+@dataclass(frozen=True)
+class Incident:
+    """A raised-and-cleared (or still-open) deviation incident.
+
+    ``raised_at`` is the epoch the incident opened (the last of the
+    ``raise_after`` consecutive alarms); ``cleared_at`` is the epoch it
+    closed, or ``None`` if still open at the end of the run.
+    """
+
+    raised_at: int
+    cleared_at: Optional[int]
+
+    def duration(self, total_epochs: int) -> int:
+        """Epochs the incident was open (clamped to the run length)."""
+        end = self.cleared_at if self.cleared_at is not None else total_epochs
+        return end - self.raised_at
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One epoch's observation."""
+
+    epoch: int
+    alarms: int
+    alarming: bool
+    incident_open: bool
+
+
+@dataclass(frozen=True)
+class MonitorReport:
+    """Full history of one monitoring run."""
+
+    records: Tuple[EpochRecord, ...]
+    incidents: Tuple[Incident, ...]
+
+    @property
+    def epochs(self) -> int:
+        return len(self.records)
+
+    def incident_open_at(self, epoch: int) -> bool:
+        """Whether an incident was open during *epoch*."""
+        return self.records[epoch].incident_open
+
+    def epochs_in_incident(self) -> int:
+        """Total epochs spent inside incidents."""
+        return sum(1 for r in self.records if r.incident_open)
+
+
+@dataclass(frozen=True)
+class UniformityMonitor:
+    """Continuous uniformity monitoring with hysteresis.
+
+    Parameters
+    ----------
+    tester:
+        The solved Theorem 1.2 network tester run once per epoch.
+    raise_after:
+        Consecutive alarming epochs before an incident opens (≥ 1).
+    clear_after:
+        Consecutive quiet epochs before an open incident closes (≥ 1).
+    """
+
+    tester: ThresholdNetworkTester
+    raise_after: int = 2
+    clear_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.raise_after < 1:
+            raise ParameterError(f"raise_after must be >= 1, got {self.raise_after}")
+        if self.clear_after < 1:
+            raise ParameterError(f"clear_after must be >= 1, got {self.clear_after}")
+
+    def run(
+        self,
+        stream: EpochStream,
+        epochs: int,
+        rng: SeedLike = None,
+    ) -> MonitorReport:
+        """Monitor *stream* for *epochs* epochs; return the full history."""
+        if epochs < 1:
+            raise ParameterError(f"epochs must be >= 1, got {epochs}")
+        gen = ensure_rng(rng)
+        threshold = self.tester.params.threshold
+        records: List[EpochRecord] = []
+        incidents: List[Incident] = []
+        consecutive_alarms = 0
+        consecutive_quiet = 0
+        open_incident: Optional[int] = None
+
+        for epoch in range(epochs):
+            distribution = stream.distribution_at(epoch)
+            alarms = self.tester.rejection_count(distribution, gen)
+            alarming = alarms >= threshold
+            if alarming:
+                consecutive_alarms += 1
+                consecutive_quiet = 0
+            else:
+                consecutive_quiet += 1
+                consecutive_alarms = 0
+            if open_incident is None and consecutive_alarms >= self.raise_after:
+                open_incident = epoch
+            elif open_incident is not None and consecutive_quiet >= self.clear_after:
+                incidents.append(Incident(raised_at=open_incident, cleared_at=epoch))
+                open_incident = None
+            records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    alarms=alarms,
+                    alarming=alarming,
+                    incident_open=open_incident is not None,
+                )
+            )
+        if open_incident is not None:
+            incidents.append(Incident(raised_at=open_incident, cleared_at=None))
+        return MonitorReport(records=tuple(records), incidents=tuple(incidents))

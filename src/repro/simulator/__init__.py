@@ -1,0 +1,42 @@
+"""Synchronous message-passing network simulator (LOCAL / CONGEST).
+
+The paper's multi-round testers live in the classical synchronous models:
+in each round every node may send one message per incident edge, receive the
+messages sent to it, and compute.  **CONGEST** caps messages at
+``O(log n)`` bits per edge per round; **LOCAL** does not.  This package
+simulates both, *measuring* rounds, messages, and bits so the theorem
+round-complexity bounds become empirical observables:
+
+- :mod:`repro.simulator.graph` — topologies with exact diameters.
+- :mod:`repro.simulator.message` — messages and bit accounting.
+- :mod:`repro.simulator.node` — the node-program API and execution context.
+- :mod:`repro.simulator.engine` — the round engine with CONGEST bandwidth
+  enforcement and deadlock detection.
+- :mod:`repro.simulator.primitives` — reusable protocols: max-ID flooding
+  (leader election + BFS tree), convergecast aggregation, broadcast.
+"""
+
+from repro.simulator.engine import EngineReport, RoundStats, SynchronousEngine
+from repro.simulator.graph import Topology
+from repro.simulator.message import Message, bits_for_domain, bits_for_int
+from repro.simulator.node import Context, NodeProgram
+from repro.simulator.primitives import (
+    BroadcastProgram,
+    ConvergecastSumProgram,
+    FloodMaxProgram,
+)
+
+__all__ = [
+    "Topology",
+    "Message",
+    "bits_for_domain",
+    "bits_for_int",
+    "NodeProgram",
+    "Context",
+    "SynchronousEngine",
+    "EngineReport",
+    "RoundStats",
+    "FloodMaxProgram",
+    "ConvergecastSumProgram",
+    "BroadcastProgram",
+]

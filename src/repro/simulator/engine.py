@@ -1,0 +1,250 @@
+"""The synchronous round engine.
+
+Executes a :class:`~repro.simulator.node.NodeProgram` per node over a
+:class:`~repro.simulator.graph.Topology` in lock-step rounds:
+
+1. deliver the messages sent last round,
+2. invoke every non-halted node's ``on_round``,
+3. collect and validate the new outgoing messages.
+
+**CONGEST enforcement**: with a finite ``bandwidth_bits``, the engine
+rejects (raises, not truncates) any message over budget, and also rejects
+two messages from the same node along the same edge in one round — the
+model allows one message per directed edge per round.
+
+The engine's :class:`EngineReport` carries the measured quantities the
+benchmarks compare with the theorems: total rounds, message count, total
+bits, and the maximum bits ever sent over a single edge in a round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.exceptions import BandwidthExceededError, SimulationError
+from repro.rng import SeedLike, ensure_rng, spawn
+from repro.simulator.graph import Topology
+from repro.simulator.message import Message
+from repro.simulator.node import Context, NodeProgram
+
+#: After this many consecutive globally-silent rounds with live nodes, the
+#: engine declares the protocol deadlocked.  Phase-advancing protocols act
+#: on the first or second quiet round; three in a row means nobody ever will.
+_DEADLOCK_QUIET_ROUNDS = 3
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """One round's activity, recorded when tracing is enabled.
+
+    ``quiet`` marks globally silent rounds — the phase boundaries of the
+    flooding-based protocols.
+    """
+
+    round: int
+    messages: int
+    bits: int
+    active_nodes: int
+    quiet: bool
+
+
+@dataclass
+class EngineReport:
+    """Measured execution statistics of one protocol run.
+
+    Attributes
+    ----------
+    rounds:
+        Number of synchronous rounds executed (including quiet ones).
+    messages:
+        Total messages delivered.
+    total_bits:
+        Sum of declared message sizes.
+    max_edge_bits_per_round:
+        The largest single-message size observed — in CONGEST mode this is
+        certified ≤ the bandwidth.
+    outputs:
+        Final per-node outputs, indexed by node ID.
+    halted:
+        Whether every node halted (False = stopped at ``max_rounds``).
+    trace:
+        Per-round :class:`RoundStats` when the engine was constructed with
+        ``record_trace=True``; empty otherwise.
+    """
+
+    rounds: int
+    messages: int
+    total_bits: int
+    max_edge_bits_per_round: int
+    outputs: List[Any]
+    halted: bool
+    trace: List[RoundStats] = field(default_factory=list)
+
+
+class SynchronousEngine:
+    """Runs node programs over a topology in synchronous rounds.
+
+    Parameters
+    ----------
+    topology:
+        The network graph.
+    bandwidth_bits:
+        Per-edge per-round bit budget (CONGEST).  ``None`` = LOCAL model
+        (unbounded messages).
+    max_rounds:
+        Hard stop; exceeding it returns a report with ``halted=False``.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        bandwidth_bits: Optional[int] = None,
+        max_rounds: int = 1_000_000,
+        record_trace: bool = False,
+    ) -> None:
+        if bandwidth_bits is not None and bandwidth_bits < 1:
+            raise SimulationError(
+                f"bandwidth must be >= 1 bit, got {bandwidth_bits}"
+            )
+        if max_rounds < 1:
+            raise SimulationError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.topology = topology
+        self.bandwidth_bits = bandwidth_bits
+        self.max_rounds = max_rounds
+        self.record_trace = record_trace
+
+    def run(
+        self,
+        program_factory: Callable[[int], NodeProgram],
+        rng: SeedLike = None,
+    ) -> EngineReport:
+        """Execute until every node halts (or ``max_rounds``).
+
+        Parameters
+        ----------
+        program_factory:
+            Called once per node ID to create that node's program instance.
+        rng:
+            Seed or generator; each node receives an independent child
+            generator (private coins).
+        """
+        topo = self.topology
+        gen = ensure_rng(rng)
+        node_rngs = spawn(gen, topo.k)
+        programs = [program_factory(v) for v in range(topo.k)]
+        contexts = [
+            Context(node_id=v, neighbors=topo.neighbors(v), rng=node_rngs[v])
+            for v in range(topo.k)
+        ]
+
+        live: set = set(range(topo.k))
+        pending_wakes: Dict[int, List[int]] = {}
+
+        def note_halt_and_wake(v: int) -> None:
+            ctx = contexts[v]
+            if ctx.halted:
+                live.discard(v)
+            elif ctx._wake_at is not None:
+                pending_wakes.setdefault(ctx._wake_at, []).append(v)
+
+        for v, prog in enumerate(programs):
+            prog.on_start(contexts[v])
+            note_halt_and_wake(v)
+        in_flight = self._collect(contexts)
+
+        rounds = 0
+        messages = 0
+        total_bits = 0
+        max_edge_bits = 0
+        quiet_streak = 0
+        trace: List[RoundStats] = []
+
+        while rounds < self.max_rounds:
+            if not live and not in_flight:
+                return EngineReport(
+                    rounds=rounds,
+                    messages=messages,
+                    total_bits=total_bits,
+                    max_edge_bits_per_round=max_edge_bits,
+                    outputs=[ctx.output for ctx in contexts],
+                    halted=True,
+                    trace=trace,
+                )
+            rounds += 1
+            inboxes: Dict[int, List[Message]] = {}
+            for msg in in_flight:
+                inboxes.setdefault(msg.dst, []).append(msg)
+                messages += 1
+                total_bits += msg.bits
+                max_edge_bits = max(max_edge_bits, msg.bits)
+            if in_flight:
+                quiet_streak = 0
+            else:
+                quiet_streak += 1
+                if quiet_streak >= _DEADLOCK_QUIET_ROUNDS:
+                    sample = sorted(live)[:8]
+                    raise SimulationError(
+                        f"deadlock: {quiet_streak} silent rounds with live "
+                        f"nodes {sample}{'...' if len(live) > 8 else ''} "
+                        f"at round {rounds}"
+                    )
+            # Scheduling contract: a node runs when it has mail, after a
+            # globally quiet round (phase transitions), or at a wakeup it
+            # requested.  Anything else would be a spurious no-op call.
+            due = pending_wakes.pop(rounds, [])
+            if quiet_streak > 0:
+                active = sorted(live)
+            else:
+                active = sorted(set(inboxes).union(due).intersection(live))
+            for v in active:
+                ctx = contexts[v]
+                if ctx._wake_at is not None and ctx._wake_at <= rounds:
+                    ctx._wake_at = None
+                ctx.round = rounds
+                ctx.quiet_rounds = quiet_streak
+                programs[v].on_round(ctx, inboxes.get(v, []))
+                note_halt_and_wake(v)
+            if self.record_trace:
+                trace.append(
+                    RoundStats(
+                        round=rounds,
+                        messages=sum(len(ms) for ms in inboxes.values()),
+                        bits=sum(m.bits for ms in inboxes.values() for m in ms),
+                        active_nodes=len(active),
+                        quiet=quiet_streak > 0,
+                    )
+                )
+            in_flight = self._collect([contexts[v] for v in active])
+
+        return EngineReport(
+            rounds=rounds,
+            messages=messages,
+            total_bits=total_bits,
+            max_edge_bits_per_round=max_edge_bits,
+            outputs=[ctx.output for ctx in contexts],
+            halted=all(ctx.halted for ctx in contexts),
+            trace=trace,
+        )
+
+    def _collect(self, contexts: Sequence[Context]) -> List[Message]:
+        """Drain all outboxes, enforcing the CONGEST constraints."""
+        out: List[Message] = []
+        for ctx in contexts:
+            seen_edges = set()
+            for msg in ctx._drain_outbox():
+                if self.bandwidth_bits is not None:
+                    if msg.bits > self.bandwidth_bits:
+                        raise BandwidthExceededError(
+                            f"node {msg.src} sent {msg.bits} bits to "
+                            f"{msg.dst} (budget {self.bandwidth_bits}) "
+                            f"[tag={msg.tag!r}]"
+                        )
+                    if msg.dst in seen_edges:
+                        raise BandwidthExceededError(
+                            f"node {msg.src} sent two messages to {msg.dst} "
+                            f"in one round [tag={msg.tag!r}]"
+                        )
+                    seen_edges.add(msg.dst)
+                out.append(msg)
+        return out

@@ -1,0 +1,59 @@
+"""Messages and bit accounting.
+
+CONGEST's defining constraint is the per-edge, per-round bandwidth of
+``O(log n)`` bits.  To *enforce* (not just assume) it, every message carries
+an explicit bit size declared by the sender; the engine rejects messages
+over the configured budget.  Helpers compute honest sizes for the payloads
+the paper's protocols send: domain elements (``⌈log₂ n⌉`` bits), counters,
+and small tuples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ParameterError
+
+
+def bits_for_domain(n: int) -> int:
+    """Bits to name one element of a size-*n* domain: ``⌈log₂ n⌉`` (min 1)."""
+    if n < 1:
+        raise ParameterError(f"domain size must be >= 1, got {n}")
+    return max(1, math.ceil(math.log2(n)))
+
+
+def bits_for_int(value: int) -> int:
+    """Bits to transmit a non-negative integer: ``⌈log₂(value+1)⌉`` (min 1)."""
+    if value < 0:
+        raise ParameterError(f"value must be >= 0, got {value}")
+    return max(1, value.bit_length())
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint node IDs; must be graph neighbours (engine-enforced).
+    payload:
+        Arbitrary Python value; the simulation treats it opaquely.
+    bits:
+        Declared size.  The engine enforces ``bits <= bandwidth`` in
+        CONGEST mode and aggregates totals for the reports.
+    tag:
+        Optional protocol-phase label, for traces and debugging.
+    """
+
+    src: int
+    dst: int
+    payload: Any
+    bits: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise ParameterError(f"message bits must be >= 0, got {self.bits}")

@@ -1,0 +1,58 @@
+"""Simultaneous-message machinery behind the lower bound (Section 7).
+
+The paper's lower bound for anonymous 0-round uniformity testing goes
+through simultaneous communication complexity of Equality with asymmetric
+error.  This package implements *both directions* concretely:
+
+- :mod:`repro.smp.galois`, :mod:`repro.smp.reed_solomon`,
+  :mod:`repro.smp.codes` — GF(2^q) arithmetic, Reed–Solomon, and a
+  concatenated binary code with a *certified* minimum distance (our
+  stand-in for the Justesen code of Lemma 7.3; the protocol only needs
+  constant rate and constant relative distance, both of which are measured
+  properties here).
+- :mod:`repro.smp.equality` — the Lemma 7.3 torus-chunk SMP protocol for
+  Equality: worst-case ``O(√(τδn))`` bits, perfect completeness, NO-side
+  rejection ``≥ τδ``.
+- :mod:`repro.smp.reduction` — the Blais–Canonne–Gur reduction
+  (Theorem 7.1): any ``q``-sample uniformity tester yields an SMP Equality
+  protocol of cost ``q·log n``; includes the input-to-distribution mapping
+  and a runnable protocol wrapping any
+  :class:`~repro.core.gap.CentralizedTester`.
+- :mod:`repro.smp.lowerbound` — the quantitative side: Lemma 2.1's KL
+  separation, ``f(τ) = τ−1−ln τ``, and the per-node ``(δ, α)``
+  requirements that drive Theorem 1.3.
+"""
+
+from repro.smp.codes import ConcatenatedCode, InnerCode, repetition_inner_code
+from repro.smp.equality import EqualityProtocol, TorusChunkMessage
+from repro.smp.galois import GF
+from repro.smp.lowerbound import anonymous_tester_requirements, verify_kl_separation
+from repro.smp.reduction import (
+    BCGMapping,
+    TesterBasedEqualityProtocol,
+)
+from repro.smp.reed_solomon import ReedSolomonCode
+from repro.smp.referee import (
+    RefereeProtocol,
+    expected_induced_distance,
+    induced_distribution,
+    random_balanced_partition,
+)
+
+__all__ = [
+    "GF",
+    "ReedSolomonCode",
+    "InnerCode",
+    "ConcatenatedCode",
+    "repetition_inner_code",
+    "EqualityProtocol",
+    "TorusChunkMessage",
+    "BCGMapping",
+    "TesterBasedEqualityProtocol",
+    "anonymous_tester_requirements",
+    "verify_kl_separation",
+    "RefereeProtocol",
+    "random_balanced_partition",
+    "induced_distribution",
+    "expected_induced_distance",
+]

@@ -1,0 +1,249 @@
+"""Concatenated binary codes with certified minimum distance.
+
+Lemma 7.3 uses a Justesen code: constant rate, constant relative distance,
+binary.  Any such code supports the torus protocol — the analysis only
+consumes the (rate, relative distance) pair — so we build the classical
+concatenation:
+
+- **outer**: Reed–Solomon over GF(2^q) (exact distance, MDS);
+- **inner**: a small binary linear code found by randomized search with
+  its minimum distance *verified exhaustively* (the code has ``2^{k_in}``
+  words; for ``k_in ≤ 12`` full enumeration is instant and the distance is
+  a certificate, not an estimate).
+
+The concatenated ``[n_out·n_in, k_out·k_in]`` code has relative distance
+at least ``δ_out · δ_in`` — the bound the Equality protocol plugs in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import CodingError
+from repro.rng import SeedLike, ensure_rng
+from repro.smp.galois import GF
+from repro.smp.reed_solomon import ReedSolomonCode
+
+
+@dataclass(frozen=True)
+class InnerCode:
+    """A binary linear ``[n_bits, k_bits]`` code with verified distance.
+
+    ``generator`` has shape ``(k_bits, n_bits)`` over GF(2); systematic
+    generators (identity prefix) are produced by :meth:`search`.
+    """
+
+    generator: Tuple[Tuple[int, ...], ...]
+    min_distance: int
+
+    @property
+    def k_bits(self) -> int:
+        """Message length in bits."""
+        return len(self.generator)
+
+    @property
+    def n_bits(self) -> int:
+        """Codeword length in bits."""
+        return len(self.generator[0])
+
+    @property
+    def relative_distance(self) -> float:
+        """``min_distance / n_bits``."""
+        return self.min_distance / self.n_bits
+
+    @property
+    def rate(self) -> float:
+        """``k_bits / n_bits``."""
+        return self.k_bits / self.n_bits
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode ``k_bits`` bits into ``n_bits`` bits (matrix product mod 2)."""
+        msg = np.asarray(bits, dtype=np.int64)
+        if msg.shape != (self.k_bits,):
+            raise CodingError(f"message must have {self.k_bits} bits")
+        gen = np.asarray(self.generator, dtype=np.int64)
+        return (msg @ gen) % 2
+
+    def encode_symbols(self, symbols: np.ndarray) -> np.ndarray:
+        """Encode a vector of ``k_bits``-bit symbols, one codeword each.
+
+        Returns shape ``(len(symbols), n_bits)``.  Vectorised over the
+        symbol alphabet via a precomputed codebook.
+        """
+        symbols = np.asarray(symbols, dtype=np.int64)
+        book = self._codebook()
+        return book[symbols]
+
+    def _codebook(self) -> np.ndarray:
+        """All ``2^k`` codewords, indexed by the message read as an integer
+        with bit 0 the most significant (computed on demand, tiny)."""
+        k = self.k_bits
+        messages = ((np.arange(1 << k)[:, None] >> np.arange(k - 1, -1, -1)) & 1)
+        gen = np.asarray(self.generator, dtype=np.int64)
+        return (messages @ gen) % 2
+
+    @staticmethod
+    def exact_min_distance(generator: np.ndarray) -> int:
+        """Exhaustive minimum distance of a linear code = min nonzero weight."""
+        k, n = generator.shape
+        if k > 20:
+            raise CodingError(f"exhaustive distance check infeasible for k={k}")
+        messages = ((np.arange(1, 1 << k)[:, None] >> np.arange(k - 1, -1, -1)) & 1)
+        words = (messages @ generator) % 2
+        return int(words.sum(axis=1).min())
+
+    @staticmethod
+    def search(
+        k_bits: int,
+        n_bits: int,
+        target_distance: int,
+        rng: SeedLike = None,
+        attempts: int = 2000,
+    ) -> "InnerCode":
+        """Randomized search for a systematic ``[n_bits, k_bits]`` code with
+        distance ≥ *target_distance* (verified exhaustively).
+
+        The Gilbert–Varshamov bound guarantees existence well below the GV
+        distance; failure after *attempts* raises.
+        """
+        if k_bits < 1 or n_bits < k_bits:
+            raise CodingError(f"bad inner code shape [{n_bits}, {k_bits}]")
+        gen0 = ensure_rng(rng)
+        identity = np.eye(k_bits, dtype=np.int64)
+        best: Optional[Tuple[int, np.ndarray]] = None
+        for _ in range(attempts):
+            parity = gen0.integers(0, 2, size=(k_bits, n_bits - k_bits))
+            generator = np.concatenate([identity, parity], axis=1)
+            distance = InnerCode.exact_min_distance(generator)
+            if best is None or distance > best[0]:
+                best = (distance, generator)
+            if distance >= target_distance:
+                return InnerCode(
+                    generator=tuple(tuple(int(x) for x in row) for row in generator),
+                    min_distance=distance,
+                )
+        assert best is not None
+        raise CodingError(
+            f"no [{n_bits}, {k_bits}] code of distance {target_distance} found "
+            f"in {attempts} attempts (best: {best[0]})"
+        )
+
+
+def repetition_inner_code(k_bits: int, repetitions: int) -> InnerCode:
+    """The trivial ``[k·rep, k]`` bitwise-repetition code (distance = rep).
+
+    Used in tests as a deterministic inner code with a known distance.
+    """
+    if k_bits < 1 or repetitions < 1:
+        raise CodingError(f"bad repetition shape {(k_bits, repetitions)}")
+    gen = np.zeros((k_bits, k_bits * repetitions), dtype=np.int64)
+    for i in range(k_bits):
+        gen[i, i * repetitions: (i + 1) * repetitions] = 1
+    return InnerCode(
+        generator=tuple(tuple(int(x) for x in row) for row in gen),
+        min_distance=repetitions,
+    )
+
+
+@lru_cache(maxsize=8)
+def _default_inner(q: int) -> InnerCode:
+    """A good ``[2q, q]`` inner code (deterministic seed, cached)."""
+    # Achievable by randomized systematic search (verified exhaustively);
+    # [16, 8, 5] exists but random search rarely finds it — d = 4 gives
+    # relative distance 1/4, ample for the torus protocol.
+    targets = {4: 3, 8: 4}
+    target = targets.get(q, max(2, q // 2 - 1))
+    return InnerCode.search(q, 2 * q, target, rng=20180723)
+
+
+@dataclass(frozen=True)
+class ConcatenatedCode:
+    """RS ∘ inner concatenation: binary, constant rate, certified distance.
+
+    Parameters
+    ----------
+    outer:
+        Reed–Solomon outer code over GF(2^q).
+    inner:
+        Binary inner code with ``k_bits = q``.
+    """
+
+    outer: ReedSolomonCode
+    inner: InnerCode
+
+    def __post_init__(self) -> None:
+        if self.inner.k_bits != self.outer.field.q:
+            raise CodingError(
+                f"inner message length {self.inner.k_bits} must equal the "
+                f"outer symbol size q={self.outer.field.q}"
+            )
+
+    @staticmethod
+    def for_message_bits(
+        message_bits: int,
+        q: int = 8,
+        outer_rate: float = 0.5,
+        inner: Optional[InnerCode] = None,
+    ) -> "ConcatenatedCode":
+        """Construct a code for messages of *message_bits* bits.
+
+        Pads the message to ``k_sym = ⌈bits/q⌉`` symbols and picks
+        ``n_sym = ⌈k_sym/outer_rate⌉`` (capped by the field size).
+        """
+        if message_bits < 1:
+            raise CodingError(f"message_bits must be >= 1, got {message_bits}")
+        if not 0.0 < outer_rate < 1.0:
+            raise CodingError(f"outer_rate must be in (0, 1), got {outer_rate}")
+        field = GF(q)
+        k_sym = -(-message_bits // q)
+        n_sym = min(field.order, int(np.ceil(k_sym / outer_rate)))
+        if k_sym > n_sym or (n_sym - k_sym + 1) / n_sym < 0.05:
+            raise CodingError(
+                f"message of {message_bits} bits needs {k_sym} symbols but "
+                f"GF(2^{q}) supports codewords of at most {field.order} "
+                "symbols at useful distance; increase q"
+            )
+        outer = ReedSolomonCode(field=field, n_sym=n_sym, k_sym=k_sym)
+        return ConcatenatedCode(outer=outer, inner=inner or _default_inner(q))
+
+    @property
+    def message_bits(self) -> int:
+        """Input size in bits (``k_sym · q``)."""
+        return self.outer.k_sym * self.outer.field.q
+
+    @property
+    def codeword_bits(self) -> int:
+        """Output size in bits (``n_sym · n_in``)."""
+        return self.outer.n_sym * self.inner.n_bits
+
+    @property
+    def rate(self) -> float:
+        """``message_bits / codeword_bits``."""
+        return self.message_bits / self.codeword_bits
+
+    @property
+    def relative_distance(self) -> float:
+        """Certified lower bound ``δ_outer · δ_inner``."""
+        return self.outer.relative_distance * self.inner.relative_distance
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode a bit vector (padded with zeros to ``message_bits``)."""
+        msg = np.asarray(bits, dtype=np.int64)
+        if msg.ndim != 1 or msg.size > self.message_bits:
+            raise CodingError(
+                f"message must be a bit vector of at most {self.message_bits} "
+                f"bits, got shape {msg.shape}"
+            )
+        if msg.size and not np.all((msg == 0) | (msg == 1)):
+            raise CodingError("message must be binary")
+        padded = np.zeros(self.message_bits, dtype=np.int64)
+        padded[: msg.size] = msg
+        q = self.outer.field.q
+        weights = 1 << np.arange(q - 1, -1, -1)
+        symbols = padded.reshape(self.outer.k_sym, q) @ weights
+        outer_word = self.outer.encode(symbols)
+        return self.inner.encode_symbols(outer_word).reshape(-1)

@@ -1,0 +1,117 @@
+"""Finite-field arithmetic GF(2^q) via log/antilog tables.
+
+Small, dependency-free implementation sufficient for the Reed–Solomon
+outer code: supports ``q ≤ 16`` with standard primitive polynomials.
+Elements are plain ints in ``[0, 2^q)``; addition is XOR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.exceptions import CodingError
+
+#: Primitive polynomials (including the x^q term) for supported extensions.
+_PRIMITIVE_POLYS: Dict[int, int] = {
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,  # x^8 + x^4 + x^3 + x^2 + 1 (the AES-adjacent classic)
+    9: 0b1000010001,
+    10: 0b10000001001,
+    12: 0b1000001010011,
+    16: 0b10001000000001011,
+}
+
+
+class GF:
+    """The field GF(2^q).
+
+    Examples
+    --------
+    >>> f = GF(8)
+    >>> f.mul(7, 11) == f.mul(11, 7)
+    True
+    >>> f.mul(7, f.inv(7))
+    1
+    """
+
+    def __init__(self, q: int) -> None:
+        if q not in _PRIMITIVE_POLYS:
+            supported = sorted(_PRIMITIVE_POLYS)
+            raise CodingError(f"GF(2^{q}) unsupported; q must be one of {supported}")
+        self.q = q
+        self.order = 1 << q
+        poly = _PRIMITIVE_POLYS[q]
+        exp: List[int] = [0] * (2 * self.order)
+        log: List[int] = [0] * self.order
+        x = 1
+        for i in range(self.order - 1):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & self.order:
+                x ^= poly
+        if x != 1:
+            raise CodingError(f"polynomial {poly:#x} is not primitive for q={q}")
+        for i in range(self.order - 1, 2 * self.order):
+            exp[i] = exp[i - (self.order - 1)]
+        self._exp = np.asarray(exp, dtype=np.int64)
+        self._log = np.asarray(log, dtype=np.int64)
+
+    def _check(self, *elements: int) -> None:
+        for e in elements:
+            if not 0 <= e < self.order:
+                raise CodingError(f"element {e} outside GF(2^{self.q})")
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (= subtraction): XOR."""
+        self._check(a, b)
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via the log tables."""
+        self._check(a, b)
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises on zero."""
+        self._check(a)
+        if a == 0:
+            raise CodingError("zero has no inverse")
+        return int(self._exp[(self.order - 1) - self._log[a]])
+
+    def pow(self, a: int, e: int) -> int:
+        """``a^e`` with ``0^0 = 1``."""
+        self._check(a)
+        if e < 0:
+            return self.pow(self.inv(a), -e)
+        if a == 0:
+            return 1 if e == 0 else 0
+        return int(self._exp[(self._log[a] * e) % (self.order - 1)])
+
+    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise vector multiplication (vectorised log tables)."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        out = np.zeros(np.broadcast(a, b).shape, dtype=np.int64)
+        nz = (a != 0) & (b != 0)
+        av, bv = np.broadcast_arrays(a, b)
+        out[nz] = self._exp[self._log[av[nz]] + self._log[bv[nz]]]
+        return out
+
+    def poly_eval(self, coefficients: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Evaluate the polynomial with the given coefficient vector
+        (lowest degree first) at each point, via Horner's rule."""
+        points = np.asarray(points, dtype=np.int64)
+        acc = np.zeros(points.shape, dtype=np.int64)
+        for coeff in np.asarray(coefficients, dtype=np.int64)[::-1]:
+            acc = self.mul_vec(acc, points) ^ int(coeff)
+        return acc

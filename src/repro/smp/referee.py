@@ -1,0 +1,198 @@
+"""The referee model of distributed testing (related work [1], §1.1).
+
+The paper contrasts its 0-round model with the contemporaneous model of
+Acharya–Canonne–Tyagi [ACT18]: ``k`` players hold **one sample each** and
+send a *short* (``ℓ``-bit) message to a referee, who then decides with an
+arbitrary function of the messages.  The focus there is the trade-off
+between the number of players and the communication per player — roughly,
+squeezing samples of a size-``n`` domain through ``ℓ`` bits costs extra
+players.  This module implements the natural hash-and-test protocol in
+that model so the trade-off can be *measured* (benchmark E13):
+
+1. **Public randomness**: the referee draws a random balanced partition of
+   ``[n]`` into ``B = 2^ℓ`` buckets and announces it (in [ACT18] terms,
+   a public-coin protocol).
+2. Each player sends the bucket index of its sample — exactly ``ℓ`` bits.
+3. The referee now holds ``k`` i.i.d. samples of the **induced
+   distribution** ``μ_B`` on ``[B]`` and runs a centralized
+   collision-count uniformity test.
+
+Distance contraction is the crux: a uniform ``μ`` induces a uniform
+``μ_B`` exactly (balanced buckets), while an ε-far ``μ`` induces a
+``μ_B`` that is ε′-far **on average** with ``ε′ ≈ ε·√(B/n)`` — random
+bucketing cancels most of the deviation, and the √ law is the standard
+second-moment heuristic ([ACT18] Lemma-style).  :func:`expected_induced_distance`
+computes the exact contraction for a given ``μ`` by enumeration, and the
+protocol calibrates its referee threshold to the conservative
+``ε′ = κ·ε·√(B/n)`` with the empirically validated ``κ`` below.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.baselines import CollisionCountTester
+from repro.distributions.base import DiscreteDistribution
+from repro.distributions.distances import l1_distance_to_uniform
+from repro.exceptions import ParameterError
+from repro.rng import SeedLike, ensure_rng
+
+#: Conservative constant in the contraction law eps' = KAPPA * eps * sqrt(B/n).
+#: Validated by tests on the certified far families (the measured mean
+#: contraction constant is ~= 0.75-0.80 for Paninski-type deviations).
+CONTRACTION_KAPPA = 0.5
+
+
+def random_balanced_partition(
+    n: int, buckets: int, rng: SeedLike = None
+) -> np.ndarray:
+    """A uniformly random balanced assignment ``[n] -> [buckets]``.
+
+    Every bucket receives either ``⌊n/B⌋`` or ``⌈n/B⌉`` elements, so the
+    uniform distribution on ``[n]`` induces an (almost exactly) uniform
+    distribution on ``[B]`` — exactly uniform when ``B | n``.
+    """
+    if buckets < 2 or buckets > n:
+        raise ParameterError(f"need 2 <= buckets <= n, got B={buckets}, n={n}")
+    gen = ensure_rng(rng)
+    assignment = np.arange(n, dtype=np.int64) % buckets
+    gen.shuffle(assignment)
+    return assignment
+
+
+def induced_distribution(
+    mu: DiscreteDistribution, partition: np.ndarray
+) -> DiscreteDistribution:
+    """The exact distribution of ``partition[X]`` for ``X ~ μ``."""
+    if partition.shape != (mu.n,):
+        raise ParameterError("partition must assign every domain element")
+    buckets = int(partition.max()) + 1
+    probs = np.zeros(buckets, dtype=np.float64)
+    np.add.at(probs, partition, mu.probs)
+    return DiscreteDistribution(probs, name=f"induced({mu.name},B={buckets})")
+
+
+def expected_induced_distance(
+    mu: DiscreteDistribution,
+    buckets: int,
+    trials: int,
+    rng: SeedLike = None,
+) -> Tuple[float, float]:
+    """Monte-Carlo mean and min of ``‖μ_B − U_B‖₁`` over random partitions.
+
+    Used to validate the √(B/n) contraction law and to calibrate
+    :data:`CONTRACTION_KAPPA`.
+    """
+    if trials < 1:
+        raise ParameterError(f"trials must be >= 1, got {trials}")
+    gen = ensure_rng(rng)
+    distances = []
+    for _ in range(trials):
+        partition = random_balanced_partition(mu.n, buckets, gen)
+        distances.append(l1_distance_to_uniform(induced_distribution(mu, partition)))
+    return float(np.mean(distances)), float(np.min(distances))
+
+
+@dataclass(frozen=True)
+class RefereeProtocol:
+    """Hash-and-test uniformity testing in the referee model.
+
+    Attributes
+    ----------
+    n:
+        Domain size.
+    eps:
+        Distance parameter of the original problem.
+    message_bits:
+        Bits per player ``ℓ``; the bucket count is ``B = 2^ℓ`` (capped at
+        ``n``).
+    players:
+        Number of players ``k`` (one sample each).
+
+    Notes
+    -----
+    The referee's test targets the contracted distance
+    ``ε′ = κ·ε·√(B/n)``; constant error then needs
+    ``k = Θ(√B/ε′²) = Θ(n/(ε²·√B))`` players — *decreasing* in the
+    message size.  That inverse trade-off (more bits per player ⇒ fewer
+    players) is [ACT18]'s headline, measured by benchmark E13.
+    """
+
+    n: int
+    eps: float
+    message_bits: int
+    players: int
+
+    def __post_init__(self) -> None:
+        if self.message_bits < 1:
+            raise ParameterError(f"message_bits must be >= 1, got {self.message_bits}")
+        if self.players < 2:
+            raise ParameterError(f"players must be >= 2, got {self.players}")
+        if not 0.0 < self.eps < 2.0:
+            raise ParameterError(f"eps must be in (0, 2), got {self.eps}")
+        if self.buckets > self.n:
+            raise ParameterError(
+                f"2^{self.message_bits} buckets exceed the domain n={self.n}; "
+                "players may as well send raw samples"
+            )
+
+    @property
+    def buckets(self) -> int:
+        """``B = 2^ℓ``."""
+        return 1 << self.message_bits
+
+    @property
+    def contracted_eps(self) -> float:
+        """The referee's working distance ``ε′ = κ·ε·√(B/n)``."""
+        return CONTRACTION_KAPPA * self.eps * math.sqrt(self.buckets / self.n)
+
+    @property
+    def total_communication_bits(self) -> int:
+        """``k · ℓ`` bits arriving at the referee."""
+        return self.players * self.message_bits
+
+    @staticmethod
+    def players_needed(n: int, eps: float, message_bits: int, constant: float = 4.0) -> int:
+        """The ``k = Θ(√B/ε′²)`` player count for constant error."""
+        buckets = 1 << message_bits
+        eps_prime = CONTRACTION_KAPPA * eps * math.sqrt(buckets / n)
+        return max(2, int(math.ceil(constant * math.sqrt(buckets) / eps_prime**2)))
+
+    def run(self, mu: DiscreteDistribution, rng: SeedLike = None) -> bool:
+        """One protocol execution; ``True`` = referee says uniform.
+
+        The partition draw is the public randomness; each player's sample
+        and the bucketing of it are private.
+        """
+        if mu.n != self.n:
+            raise ParameterError(f"protocol built for n={self.n}, got {mu.n}")
+        gen = ensure_rng(rng)
+        partition = random_balanced_partition(self.n, self.buckets, gen)
+        samples = mu.sample(self.players, gen)
+        messages = partition[samples]  # what the referee receives
+        referee = CollisionCountTester(
+            n=self.buckets, s=self.players, eps=self.contracted_eps
+        )
+        return referee.decide(messages)
+
+    def estimate_error(
+        self,
+        mu: DiscreteDistribution,
+        is_uniform: bool,
+        trials: int,
+        rng: SeedLike = None,
+    ) -> float:
+        """Monte-Carlo error rate over full executions (fresh public coins
+        every trial)."""
+        if trials < 1:
+            raise ParameterError(f"trials must be >= 1, got {trials}")
+        gen = ensure_rng(rng)
+        errors = 0
+        for _ in range(trials):
+            if self.run(mu, gen) != is_uniform:
+                errors += 1
+        return errors / trials

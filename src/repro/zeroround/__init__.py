@@ -1,0 +1,58 @@
+"""0-round distributed uniformity testing (Sections 3 and 4 of the paper).
+
+In the 0-round model nodes never communicate: each examines its own samples
+and outputs one bit, and a global *decision rule* maps the ``k`` bits to the
+network's verdict.  This package provides:
+
+- :mod:`repro.zeroround.decision` — the AND rule, the threshold rule, and a
+  majority rule for comparison experiments.
+- :mod:`repro.zeroround.network` — the k-node harness plus vectorised
+  fast paths used by the statistical benchmarks.
+- :mod:`repro.zeroround.and_tester` — Theorem 1.1's construction.
+- :mod:`repro.zeroround.threshold_tester` — Theorem 1.2's construction.
+- :mod:`repro.zeroround.asymmetric` — Section 4: per-node sampling costs,
+  norm-based cost solvers for both decision rules, and a numeric check of
+  Lemma 4.1.
+"""
+
+from repro.zeroround.and_tester import AndRuleNetworkTester
+from repro.zeroround.asymmetric import (
+    AsymmetricAndParameters,
+    AsymmetricThresholdParameters,
+    CostVector,
+    asymmetric_and_parameters,
+    asymmetric_threshold_parameters,
+    lemma41_products,
+)
+from repro.zeroround.decision import (
+    AndRule,
+    DecisionRule,
+    MajorityRule,
+    ThresholdRule,
+)
+from repro.zeroround.network import (
+    NetworkResult,
+    ZeroRoundNetwork,
+    collision_reject_flags,
+    repeated_collision_reject_flags,
+)
+from repro.zeroround.threshold_tester import ThresholdNetworkTester
+
+__all__ = [
+    "DecisionRule",
+    "AndRule",
+    "ThresholdRule",
+    "MajorityRule",
+    "ZeroRoundNetwork",
+    "NetworkResult",
+    "collision_reject_flags",
+    "repeated_collision_reject_flags",
+    "AndRuleNetworkTester",
+    "ThresholdNetworkTester",
+    "CostVector",
+    "AsymmetricThresholdParameters",
+    "AsymmetricAndParameters",
+    "asymmetric_threshold_parameters",
+    "asymmetric_and_parameters",
+    "lemma41_products",
+]

@@ -1,0 +1,78 @@
+"""Network decision rules for the 0-round model.
+
+A decision rule maps the vector of per-node accept bits to the network's
+verdict.  The paper studies two:
+
+- the **AND rule** (the standard distributed-decision convention): the
+  network accepts iff *every* node accepts — "some node raised an alarm"
+  rejects.  Not amplification-friendly (Section 3.2.1).
+- the **threshold rule**: fix ``T``; the network rejects iff at least ``T``
+  nodes reject.  Amenable to Chernoff-style amplification (Section 3.2.2).
+
+A majority rule (threshold at ``k/2``) is included for comparison sweeps.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+
+class DecisionRule(ABC):
+    """Maps per-node accept votes to the network verdict."""
+
+    @abstractmethod
+    def decide(self, accepts: np.ndarray) -> bool:
+        """Network verdict from a boolean accept vector (True = accept)."""
+
+    @staticmethod
+    def _validate(accepts: np.ndarray) -> np.ndarray:
+        arr = np.asarray(accepts, dtype=bool)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ParameterError("accept vector must be 1-D and non-empty")
+        return arr
+
+
+@dataclass(frozen=True)
+class AndRule(DecisionRule):
+    """Accept iff all nodes accept (reject if anyone raises an alarm)."""
+
+    def decide(self, accepts: np.ndarray) -> bool:
+        return bool(self._validate(accepts).all())
+
+
+@dataclass(frozen=True)
+class ThresholdRule(DecisionRule):
+    """Reject iff at least ``threshold`` nodes reject.
+
+    ``threshold = 1`` recovers the AND rule; ``threshold > k`` accepts
+    everything (flagged as an error at decision time).
+    """
+
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ParameterError(f"threshold must be >= 1, got {self.threshold}")
+
+    def decide(self, accepts: np.ndarray) -> bool:
+        arr = self._validate(accepts)
+        if self.threshold > arr.size:
+            raise ParameterError(
+                f"threshold {self.threshold} exceeds network size {arr.size}"
+            )
+        rejections = int((~arr).sum())
+        return rejections < self.threshold
+
+
+@dataclass(frozen=True)
+class MajorityRule(DecisionRule):
+    """Accept iff a strict majority of nodes accept (ties reject)."""
+
+    def decide(self, accepts: np.ndarray) -> bool:
+        arr = self._validate(accepts)
+        return int(arr.sum()) * 2 > arr.size

@@ -1,0 +1,186 @@
+"""The k-node 0-round harness and its vectorised fast paths.
+
+Two ways to run a 0-round network:
+
+1. :class:`ZeroRoundNetwork` — the honest object model: one
+   :class:`~repro.core.gap.CentralizedTester` per node, per-node sample
+   oracles, a :class:`~repro.zeroround.decision.DecisionRule`.  Use this
+   when nodes are heterogeneous (the Section 4 asymmetric setting) or when
+   an experiment needs per-node accounting.
+2. :func:`collision_reject_flags` / :func:`repeated_collision_reject_flags`
+   — flat numpy kernels for the homogeneous case, used by the statistical
+   benchmarks that need tens of thousands of network trials.  They produce
+   *identical* decisions to the object model (a property the tests check),
+   just ~100× faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.gap import CentralizedTester
+from repro.distributions.base import DiscreteDistribution
+from repro.exceptions import ParameterError
+from repro.rng import SeedLike, ensure_rng, spawn
+from repro.zeroround.decision import DecisionRule
+
+
+@dataclass(frozen=True)
+class NetworkResult:
+    """Outcome of one 0-round network execution.
+
+    Attributes
+    ----------
+    accepted:
+        The network's verdict under the decision rule.
+    accepts:
+        Per-node accept bits, index-aligned with the node list.
+    samples_per_node:
+        Samples each node consumed in this execution.
+    """
+
+    accepted: bool
+    accepts: np.ndarray
+    samples_per_node: np.ndarray
+
+    @property
+    def rejection_count(self) -> int:
+        """Number of nodes that raised an alarm."""
+        return int((~self.accepts).sum())
+
+    @property
+    def total_samples(self) -> int:
+        """Network-wide sample count."""
+        return int(self.samples_per_node.sum())
+
+
+@dataclass
+class ZeroRoundNetwork:
+    """A network of non-communicating testers plus a decision rule.
+
+    Parameters
+    ----------
+    testers:
+        One single-node tester per network node.  A ``None`` entry models a
+        node that abstains (always accepts) — used by the asymmetric
+        constructions when a node's budget is too small to test at all.
+    rule:
+        The network decision rule.
+    """
+
+    testers: Sequence[Optional[CentralizedTester]]
+    rule: DecisionRule
+
+    def __post_init__(self) -> None:
+        if not self.testers:
+            raise ParameterError("network must have at least one node")
+
+    @property
+    def k(self) -> int:
+        """Number of network nodes."""
+        return len(self.testers)
+
+    def run(self, distribution: DiscreteDistribution, rng: SeedLike = None) -> NetworkResult:
+        """Execute one trial: draw fresh per-node samples and decide.
+
+        Each node gets an independent child generator (private coins /
+        private samples), exactly matching the paper's model.
+        """
+        gen = ensure_rng(rng)
+        node_rngs = spawn(gen, self.k)
+        accepts = np.ones(self.k, dtype=bool)
+        samples_used = np.zeros(self.k, dtype=np.int64)
+        for i, tester in enumerate(self.testers):
+            if tester is None:
+                continue
+            s = tester.samples_required
+            batch = distribution.sample(s, node_rngs[i])
+            accepts[i] = tester.decide(batch)
+            samples_used[i] = s
+        return NetworkResult(
+            accepted=self.rule.decide(accepts),
+            accepts=accepts,
+            samples_per_node=samples_used,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Vectorised kernels for the homogeneous case
+# ---------------------------------------------------------------------------
+
+
+def _rows_have_collision(matrix: np.ndarray) -> np.ndarray:
+    """Boolean per-row flag: does the row contain a repeated value?
+
+    Sort-based: ``O(rows · s log s)`` and fully vectorised.
+    """
+    if matrix.ndim != 2:
+        raise ParameterError(f"expected a 2-D sample matrix, got shape {matrix.shape}")
+    if matrix.shape[1] < 2:
+        return np.zeros(matrix.shape[0], dtype=bool)
+    ordered = np.sort(matrix, axis=1)
+    return (np.diff(ordered, axis=1) == 0).any(axis=1)
+
+
+def collision_reject_flags(
+    distribution: DiscreteDistribution,
+    k: int,
+    s: int,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Reject flags for ``k`` nodes each running ``A_δ`` with ``s`` samples.
+
+    Equivalent to ``k`` independent
+    :class:`~repro.core.collision.CollisionGapTester` nodes; returns a
+    boolean vector where ``True`` means *reject* (a collision was seen).
+    """
+    if k < 1 or s < 1:
+        raise ParameterError(f"need k >= 1 and s >= 1, got {(k, s)}")
+    samples = distribution.sample_matrix(k, s, rng)
+    return _rows_have_collision(samples)
+
+
+def repeated_collision_reject_flags(
+    distribution: DiscreteDistribution,
+    k: int,
+    m: int,
+    s: int,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Reject flags for ``k`` nodes each running AND-of-``m`` repetitions.
+
+    Node *i* rejects iff **all** of its ``m`` independent ``s``-sample
+    batches contain a collision (the Theorem 1.1 node behaviour).
+    """
+    if k < 1 or m < 1 or s < 1:
+        raise ParameterError(f"need k, m, s >= 1, got {(k, m, s)}")
+    samples = distribution.sample_matrix(k * m, s, rng)
+    per_batch = _rows_have_collision(samples).reshape(k, m)
+    return per_batch.all(axis=1)
+
+
+def estimate_rejection_probability(
+    distribution: DiscreteDistribution,
+    s: int,
+    trials: int,
+    rng: SeedLike = None,
+    batch: int = 4096,
+) -> float:
+    """Monte-Carlo estimate of ``Pr[A_δ rejects]`` on *distribution*.
+
+    Runs the single-collision tester *trials* times in vectorised batches.
+    Used by the E1 benchmark and the empirical sample-complexity search.
+    """
+    if trials < 1:
+        raise ParameterError(f"trials must be >= 1, got {trials}")
+    gen = ensure_rng(rng)
+    rejected = 0
+    remaining = trials
+    while remaining > 0:
+        chunk = min(batch, remaining)
+        rejected += int(collision_reject_flags(distribution, chunk, s, gen).sum())
+        remaining -= chunk
+    return rejected / trials

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite.
+
+Conventions:
+
+- every randomized test pins its seed (through the fixtures or literals),
+- statistical assertions leave generous margins (≥ 4σ) so the suite is
+  deterministic in practice,
+- "small" fixtures keep unit tests fast; the integration tests own the
+  larger configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import DiscreteDistribution, far_family, uniform
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, pinned generator per test."""
+    return np.random.default_rng(20180723)
+
+
+@pytest.fixture
+def small_uniform() -> DiscreteDistribution:
+    """Uniform distribution on a small domain."""
+    return uniform(200)
+
+
+@pytest.fixture
+def small_far() -> DiscreteDistribution:
+    """A certified 0.8-far distribution on the same small domain."""
+    return far_family("paninski", 200, 0.8, rng=7)
+
+
+@pytest.fixture
+def medium_uniform() -> DiscreteDistribution:
+    """Uniform distribution sized for statistical assertions."""
+    return uniform(10_000)
+
+
+@pytest.fixture
+def medium_far() -> DiscreteDistribution:
+    """A certified 0.9-far distribution on the medium domain."""
+    return far_family("paninski", 10_000, 0.9, rng=11)

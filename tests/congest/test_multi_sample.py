@@ -1,0 +1,80 @@
+"""Tests for the s > 1 samples-per-node generalisation (Theorem 1.4).
+
+The paper: "We assume for simplicity that each node has a single sample;
+generalizing to more samples is straightforward."  These tests check the
+generalisation: c(v) counts all of a node's tokens, the packaging
+invariants survive, and extra per-node samples buy feasibility at much
+smaller k (total samples are what matter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.congest import (
+    CongestUniformityTester,
+    congest_parameters,
+    verify_packaging,
+)
+from repro.congest.token_packaging import (
+    TokenPackagingProgram,
+    _run_with_deadlock_margin,
+)
+from repro.distributions import far_family, uniform
+from repro.exceptions import InfeasibleParametersError, ParameterError
+from repro.simulator import SynchronousEngine, Topology
+
+
+class TestMultiTokenPackaging:
+    @pytest.mark.parametrize("s", [2, 3, 5])
+    @pytest.mark.parametrize("tau", [2, 7])
+    def test_invariants_hold(self, s, tau):
+        topo = Topology.grid(4, 5)
+        rng = np.random.default_rng(s * 10 + tau)
+        token_lists = [list(rng.integers(0, 500, size=s)) for _ in range(topo.k)]
+        engine = SynchronousEngine(topo, bandwidth_bits=16, max_rounds=5000)
+        report = _run_with_deadlock_margin(
+            engine,
+            lambda v: TokenPackagingProgram(
+                node_id=v, k=topo.k, tau=tau,
+                token=token_lists[v], token_bits=9,
+            ),
+            rng=1,
+            margin=tau + 6,
+        )
+        flat = [t for lst in token_lists for t in lst]
+        verify_packaging(report.outputs, flat, tau)
+
+    def test_empty_token_list_rejected(self):
+        with pytest.raises(ParameterError):
+            TokenPackagingProgram(node_id=0, k=2, tau=2, token=[], token_bits=4)
+
+
+class TestMultiSampleTester:
+    def test_extra_samples_buy_feasibility(self):
+        """k=1500 is infeasible at s=1 but feasible at s=4."""
+        with pytest.raises(InfeasibleParametersError):
+            congest_parameters(500, 1500, 0.9, samples_per_node=1)
+        params = congest_parameters(500, 1500, 0.9, samples_per_node=4)
+        assert params.samples_per_node == 4
+        assert params.expected_virtual_nodes >= 500
+
+    def test_end_to_end_verdicts(self):
+        tester = CongestUniformityTester.solve(500, 1500, 0.9, samples_per_node=4)
+        topo = Topology.star(1500)
+        wrong = 0
+        for i in range(6):
+            acc_u, _ = tester.run(topo, uniform(500), rng=10 + i)
+            wrong += not acc_u
+        far = far_family("paninski", 500, 0.9, rng=0)
+        for i in range(6):
+            acc_f, _ = tester.run(topo, far, rng=20 + i)
+            wrong += acc_f
+        assert wrong <= 4  # 12 verdicts, each <= 1/3 error
+
+    def test_round_complexity_unchanged_in_shape(self):
+        """tau at (k, s) ~ tau at (k*s, 1): only total samples matter."""
+        tau_multi = congest_parameters(500, 1500, 0.9, samples_per_node=4).tau
+        tau_flat = congest_parameters(500, 6000, 0.9, samples_per_node=1).tau
+        assert abs(tau_multi - tau_flat) <= 2

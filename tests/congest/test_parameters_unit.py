@@ -1,0 +1,60 @@
+"""Unit tests for CONGEST parameter internals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import congest_parameters
+from repro.congest.tester import _alarm_probabilities
+from repro.core.collision import (
+    collision_free_probability_uniform,
+    far_accept_upper_bound,
+)
+from repro.exceptions import InfeasibleParametersError, ParameterError
+
+
+class TestAlarmProbabilities:
+    def test_uniform_side_is_exact_complement(self):
+        n, tau = 1000, 10
+        p_u, _ = _alarm_probabilities(n, tau, 0.8)
+        assert p_u == pytest.approx(
+            1.0 - collision_free_probability_uniform(n, tau)
+        )
+
+    def test_far_side_uses_lemma_33(self):
+        n, tau, eps = 1000, 10, 0.8
+        _, p_f = _alarm_probabilities(n, tau, eps)
+        assert p_f == pytest.approx(
+            1.0 - far_accept_upper_bound((1 + eps**2) / n, tau)
+        )
+
+    def test_ordering_in_useful_regime(self):
+        p_u, p_f = _alarm_probabilities(2000, 8, 0.9)
+        assert 0 < p_u < p_f < 1
+
+
+class TestThresholdFor:
+    def test_scales_with_virtual_nodes(self):
+        params = congest_parameters(500, 5000, 0.9)
+        t_small = params.threshold_for(600)
+        t_large = params.threshold_for(1200)
+        assert t_large > t_small
+
+    def test_infeasible_count_raises(self):
+        params = congest_parameters(500, 5000, 0.9)
+        with pytest.raises(InfeasibleParametersError):
+            params.threshold_for(3)  # 3 packages cannot separate the tails
+
+    def test_predicted_rounds_monotone_in_diameter(self):
+        params = congest_parameters(500, 5000, 0.9)
+        assert params.predicted_rounds(100) > params.predicted_rounds(2)
+
+
+class TestSolverValidation:
+    def test_k_too_small(self):
+        with pytest.raises(ParameterError):
+            congest_parameters(100, 1, 0.9)
+
+    def test_bad_samples_per_node(self):
+        with pytest.raises(ParameterError):
+            congest_parameters(100, 10, 0.9, samples_per_node=0)

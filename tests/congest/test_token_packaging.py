@@ -1,0 +1,136 @@
+"""Tests for the tau-token-packaging protocol (Definition 2 / Theorem 5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.congest import run_token_packaging, verify_packaging
+from repro.exceptions import ParameterError
+from repro.simulator import Topology
+
+TOPOLOGIES = [
+    Topology.line(20),
+    Topology.ring(18),
+    Topology.star(16),
+    Topology.grid(4, 5),
+    Topology.balanced_tree(2, 3),
+]
+
+
+def tokens_for(topo, seed=0):
+    return np.random.default_rng(seed).integers(0, 500, size=topo.k)
+
+
+class TestDefinition2Requirements:
+    @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.name)
+    @pytest.mark.parametrize("tau", [1, 2, 3, 7])
+    def test_all_three_requirements(self, topo, tau):
+        tokens = tokens_for(topo)
+        outcomes, _ = run_token_packaging(topo, tokens, tau, rng=1)
+        verify_packaging(outcomes, tokens, tau)
+
+    def test_tau_one_packages_everything(self):
+        topo = Topology.line(9)
+        tokens = tokens_for(topo)
+        outcomes, _ = run_token_packaging(topo, tokens, 1, rng=1)
+        assert sum(len(o.packages) for o in outcomes) == topo.k
+
+    def test_tau_equal_k(self):
+        topo = Topology.star(8)
+        tokens = tokens_for(topo)
+        outcomes, _ = run_token_packaging(topo, tokens, topo.k, rng=1)
+        total = sum(len(o.packages) for o in outcomes)
+        assert total == 1  # exactly one full package
+
+    def test_dropped_tokens_at_root_only(self):
+        topo = Topology.line(11)
+        tokens = tokens_for(topo)
+        outcomes, _ = run_token_packaging(topo, tokens, 4, rng=1)
+        for outcome in outcomes:
+            if not outcome.is_root:
+                assert outcome.leftover == ()
+
+    def test_exactly_one_root(self):
+        topo = Topology.grid(3, 4)
+        outcomes, _ = run_token_packaging(topo, tokens_for(topo), 3, rng=1)
+        assert sum(o.is_root for o in outcomes) == 1
+
+    def test_single_node_network(self):
+        topo = Topology.line(1)
+        outcomes, _ = run_token_packaging(topo, [7], 3, rng=1)
+        verify_packaging(outcomes, [7], 3)
+
+
+class TestRoundComplexity:
+    @pytest.mark.parametrize("tau", [2, 8, 16])
+    def test_rounds_linear_in_d_plus_tau(self, tau):
+        """Theorem 5.1: O(D + tau) rounds; our constant is ~4 for D."""
+        for topo in (Topology.line(30), Topology.star(30), Topology.grid(5, 6)):
+            tokens = tokens_for(topo)
+            _, report = run_token_packaging(topo, tokens, tau, rng=2)
+            assert report.rounds <= 4 * topo.diameter() + tau + 12
+
+    def test_tau_term_visible_on_star(self):
+        """On a D=2 star, growing tau must grow rounds ~ linearly."""
+        topo = Topology.star(40)
+        tokens = tokens_for(topo)
+        r_small = run_token_packaging(topo, tokens, 2, rng=3)[1].rounds
+        r_large = run_token_packaging(topo, tokens, 20, rng=3)[1].rounds
+        assert r_large - r_small == pytest.approx(18, abs=6)
+
+    def test_d_term_visible_on_line(self):
+        """At fixed tau, line length drives rounds."""
+        tau = 3
+        r_short = run_token_packaging(
+            Topology.line(10), list(range(10)), tau, rng=4
+        )[1].rounds
+        r_long = run_token_packaging(
+            Topology.line(40), list(range(40)), tau, rng=4
+        )[1].rounds
+        assert r_long > r_short + 20
+
+
+class TestCongestCompliance:
+    def test_token_messages_fit_budget(self):
+        topo = Topology.line(12)
+        tokens = np.arange(12) + 1000  # 11-bit tokens
+        _, report = run_token_packaging(topo, tokens, 3, token_bits=11, rng=5)
+        assert report.max_edge_bits_per_round <= max(11, 2 * 4)
+
+    def test_wrong_token_count_rejected(self):
+        with pytest.raises(ParameterError):
+            run_token_packaging(Topology.line(5), [1, 2, 3], 2)
+
+
+class TestVerifier:
+    def test_detects_duplicated_token(self):
+        from repro.congest.token_packaging import PackagingOutcome
+
+        # One token with value 5 exists; the package uses it twice.
+        with pytest.raises(AssertionError):
+            verify_packaging(
+                [PackagingOutcome(packages=((5, 5),), leftover=(), is_root=True)],
+                tokens=[5, 6],
+                tau=2,
+            )
+
+    def test_detects_wrong_package_size(self):
+        from repro.congest.token_packaging import PackagingOutcome
+
+        with pytest.raises(AssertionError):
+            verify_packaging(
+                [PackagingOutcome(packages=((1, 2, 3),), leftover=(), is_root=True)],
+                tokens=[1, 2, 3],
+                tau=2,
+            )
+
+    def test_detects_excess_drops(self):
+        from repro.congest.token_packaging import PackagingOutcome
+
+        with pytest.raises(AssertionError):
+            verify_packaging(
+                [PackagingOutcome(packages=(), leftover=(), is_root=True)],
+                tokens=[1, 2, 3, 4],
+                tau=2,
+            )

@@ -1,0 +1,88 @@
+"""Tests for AND-of-m gap amplification (Section 3.2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollisionGapTester,
+    GapSpec,
+    RepeatedAndTester,
+    amplified_gap,
+    repetitions_for_gap,
+)
+from repro.exceptions import ParameterError
+
+
+class TestRepetitionsForGap:
+    def test_exact_logarithm(self):
+        # alpha^m >= target with the smallest such m.
+        m = repetitions_for_gap(1.2, 2.7)
+        assert 1.2 ** m >= 2.7 > 1.2 ** (m - 1)
+
+    def test_target_below_one_gives_single(self):
+        assert repetitions_for_gap(1.5, 0.9) == 1
+
+    def test_matches_paper_scaling(self):
+        # m = Theta(C_p / eps^2): halving eps quadruples m (roughly).
+        m1 = repetitions_for_gap(1 + 0.8**2 / 2, 2.7)
+        m2 = repetitions_for_gap(1 + 0.4**2 / 2, 2.7)
+        assert 2.5 <= m2 / m1 <= 6
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ParameterError):
+            repetitions_for_gap(1.0, 2.0)
+
+
+class TestAmplifiedGap:
+    def test_powers(self):
+        spec = GapSpec(delta=0.1, alpha=1.3, eps=0.5)
+        amp = amplified_gap(spec, 3)
+        assert amp.delta == pytest.approx(0.1**3)
+        assert amp.alpha == pytest.approx(1.3**3)
+        assert amp.eps == 0.5
+
+    def test_identity_at_one(self):
+        spec = GapSpec(delta=0.1, alpha=1.3, eps=0.5)
+        assert amplified_gap(spec, 1) == spec
+
+    def test_invalid_m(self):
+        with pytest.raises(ParameterError):
+            amplified_gap(GapSpec(delta=0.1, alpha=1.3, eps=0.5), 0)
+
+
+class TestRepeatedAndTester:
+    def test_sample_accounting(self):
+        base = CollisionGapTester(n=1000, s=7)
+        rep = RepeatedAndTester(base=base, m=4)
+        assert rep.samples_required == 28
+
+    def test_rejects_iff_all_batches_reject(self):
+        base = CollisionGapTester(n=1000, s=3)
+        rep = RepeatedAndTester(base=base, m=2)
+        colliding = [5, 5, 6]
+        distinct = [1, 2, 3]
+        assert not rep.decide(np.array(colliding + colliding))  # both reject
+        assert rep.decide(np.array(colliding + distinct))       # one accepts
+        assert rep.decide(np.array(distinct + distinct))
+
+    def test_batch_size_checked(self):
+        base = CollisionGapTester(n=1000, s=3)
+        rep = RepeatedAndTester(base=base, m=2)
+        with pytest.raises(ParameterError):
+            rep.decide(np.arange(5))
+
+    def test_statistical_amplification(self):
+        """m repetitions push the uniform rejection rate to ~delta^m."""
+        from repro.distributions import uniform
+
+        n, s, m, trials = 500, 15, 2, 6000
+        base = CollisionGapTester(n=n, s=s)
+        rep = RepeatedAndTester(base=base, m=m)
+        dist = uniform(n)
+        samples = dist.sample_matrix(trials, rep.samples_required, rng=0)
+        rejects = sum(not rep.decide(row) for row in samples)
+        single_delta = base.delta
+        expected = single_delta**m  # ~0.044 at these numbers
+        assert rejects / trials == pytest.approx(expected, abs=0.02)

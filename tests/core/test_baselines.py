@@ -1,0 +1,107 @@
+"""Tests for the centralized baseline testers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ChiSquareTester, CollisionCountTester, EmpiricalL1Tester
+from repro.core.baselines import count_collisions, histogram
+from repro.distributions import far_family, uniform
+from repro.exceptions import ParameterError
+
+
+class TestHelpers:
+    def test_count_collisions_pairs(self):
+        # [1,1,1] has C(3,2)=3 colliding pairs.
+        assert count_collisions(np.array([1, 1, 1]), 5) == 3
+
+    def test_count_collisions_none(self):
+        assert count_collisions(np.array([0, 1, 2]), 5) == 0
+
+    def test_count_collisions_empty(self):
+        assert count_collisions(np.array([], dtype=int), 5) == 0
+
+    def test_histogram_domain_checked(self):
+        with pytest.raises(ParameterError):
+            histogram(np.array([7]), 5)
+
+
+def _error_rates(tester, n, eps, trials, seed):
+    u = uniform(n)
+    f = far_family("paninski", n, eps, rng=seed)
+    s = tester.samples_required
+    err_u = sum(
+        not tester.decide(u.sample(s, rng=1000 * seed + t)) for t in range(trials)
+    ) / trials
+    err_f = sum(
+        tester.decide(f.sample(s, rng=2000 * seed + t)) for t in range(trials)
+    ) / trials
+    return err_u, err_f
+
+
+class TestCollisionCountTester:
+    def test_standard_budget_shape(self):
+        t = CollisionCountTester.with_standard_budget(10_000, 0.5)
+        assert t.s == pytest.approx(3 * 100 / 0.25, abs=2)
+
+    def test_constant_error_at_standard_budget(self):
+        t = CollisionCountTester.with_standard_budget(2_000, 0.8)
+        err_u, err_f = _error_rates(t, 2_000, 0.8, trials=60, seed=3)
+        assert err_u <= 1 / 3
+        assert err_f <= 1 / 3
+
+    def test_threshold_between_expectations(self):
+        t = CollisionCountTester(n=1000, s=100, eps=0.6)
+        pairs = 100 * 99 / 2
+        assert pairs / 1000 < t.collision_threshold < pairs * (1 + 0.36) / 1000
+
+    def test_batch_size_checked(self):
+        t = CollisionCountTester(n=100, s=10, eps=0.5)
+        with pytest.raises(ParameterError):
+            t.decide(np.arange(9))
+
+
+class TestChiSquareTester:
+    def test_statistic_unbiased_zero_under_uniform(self):
+        t = ChiSquareTester(n=500, s=200, eps=0.5)
+        u = uniform(500)
+        stats = [t.statistic(u.sample(200, rng=i)) for i in range(300)]
+        # E[Z] = 0 under uniform; normalised mean should be near zero.
+        assert abs(np.mean(stats)) < 3 * np.std(stats) / np.sqrt(len(stats)) + 1e-9
+
+    def test_statistic_mean_matches_theory_for_far(self):
+        n, s, eps = 500, 200, 0.8
+        t = ChiSquareTester(n=n, s=s, eps=eps)
+        f = far_family("paninski", n, eps, rng=1)
+        stats = [t.statistic(f.sample(s, rng=100 + i)) for i in range(300)]
+        expected = s * (s - 1) * eps**2 / n
+        assert np.mean(stats) == pytest.approx(expected, rel=0.25)
+
+    def test_constant_error_at_standard_budget(self):
+        t = ChiSquareTester.with_standard_budget(2_000, 0.8)
+        err_u, err_f = _error_rates(t, 2_000, 0.8, trials=60, seed=5)
+        assert err_u <= 1 / 3
+        assert err_f <= 1 / 3
+
+
+class TestEmpiricalL1Tester:
+    def test_needs_linear_samples(self):
+        t = EmpiricalL1Tester.with_standard_budget(1000, 0.5)
+        assert t.s >= 1000  # linear in n -- the point of the comparison
+
+    def test_correct_at_linear_budget(self):
+        t = EmpiricalL1Tester.with_standard_budget(300, 0.8)
+        err_u, err_f = _error_rates(t, 300, 0.8, trials=40, seed=7)
+        assert err_u <= 1 / 3
+        assert err_f <= 1 / 3
+
+    def test_fails_at_sublinear_budget(self):
+        """With s ~ sqrt(n) the empirical L1 is ~ saturated: everything far."""
+        n, eps = 10_000, 0.8
+        t = EmpiricalL1Tester(n=n, s=200, eps=eps)
+        u = uniform(n)
+        rejected = sum(
+            not t.decide(u.sample(200, rng=i)) for i in range(30)
+        )
+        assert rejected == 30  # rejects uniform every time: unusable

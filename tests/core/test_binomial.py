@@ -1,0 +1,93 @@
+"""Tests for exact binomial tails and threshold separation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.binomial import (
+    binom_cdf,
+    binom_logpmf,
+    binom_sf,
+    find_separating_threshold,
+    separation_error,
+)
+from repro.exceptions import ParameterError
+
+
+class TestPmf:
+    def test_sums_to_one(self):
+        n, p = 30, 0.3
+        logs = binom_logpmf(np.arange(n + 1), n, p)
+        assert np.exp(logs).sum() == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # Bin(4, 0.5) at 2 = 6/16.
+        assert math.exp(binom_logpmf(np.array([2]), 4, 0.5)[0]) == pytest.approx(
+            6 / 16
+        )
+
+    def test_out_of_range_is_zero(self):
+        logs = binom_logpmf(np.array([-1, 11]), 10, 0.5)
+        assert np.all(np.isneginf(logs))
+
+    def test_degenerate_p(self):
+        assert math.exp(binom_logpmf(np.array([0]), 5, 0.0)[0]) == 1.0
+        assert math.exp(binom_logpmf(np.array([5]), 5, 1.0)[0]) == 1.0
+
+
+class TestTails:
+    def test_sf_cdf_complement(self):
+        n, p = 40, 0.2
+        for t in (0, 5, 12, 40):
+            assert binom_sf(t, n, p) + binom_cdf(t - 1, n, p) == pytest.approx(1.0)
+
+    def test_sf_boundaries(self):
+        assert binom_sf(0, 10, 0.5) == 1.0
+        assert binom_sf(11, 10, 0.5) == 0.0
+
+    def test_cdf_boundaries(self):
+        assert binom_cdf(-1, 10, 0.5) == 0.0
+        assert binom_cdf(10, 10, 0.5) == 1.0
+
+    def test_against_monte_carlo(self):
+        n, p, t = 100, 0.07, 12
+        rng = np.random.default_rng(0)
+        draws = rng.binomial(n, p, size=200_000)
+        assert binom_sf(t, n, p) == pytest.approx((draws >= t).mean(), abs=0.003)
+
+    def test_large_n_stable(self):
+        val = binom_sf(600, 1_000_000, 0.0005)
+        assert 0.0 <= val <= 1.0
+        assert not math.isnan(val)
+
+
+class TestThresholdSeparation:
+    def test_separates_well_spread_binomials(self):
+        t = find_separating_threshold(1000, 0.05, 0.15, 1 / 3)
+        assert t is not None
+        err_lo, err_hi = separation_error(1000, 0.05, 0.15, t)
+        assert err_lo <= 1 / 3 and err_hi <= 1 / 3
+
+    def test_none_when_too_close(self):
+        assert find_separating_threshold(50, 0.10, 0.101, 0.05) is None
+
+    def test_threshold_between_means(self):
+        trials, p_lo, p_hi = 2000, 0.02, 0.08
+        t = find_separating_threshold(trials, p_lo, p_hi, 1 / 3)
+        assert trials * p_lo < t < trials * p_hi + 1
+
+    def test_monotone_in_trials(self):
+        # More trials should only make separation easier.
+        assert find_separating_threshold(200, 0.05, 0.09, 0.05) is None
+        assert find_separating_threshold(2000, 0.05, 0.09, 0.05) is not None
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            find_separating_threshold(0, 0.1, 0.2, 0.3)
+        with pytest.raises(ParameterError):
+            find_separating_threshold(10, 0.3, 0.2, 0.3)
+        with pytest.raises(ParameterError):
+            find_separating_threshold(10, 0.1, 0.2, 0.0)

@@ -1,0 +1,105 @@
+"""Tests for the closed-form theorem predictions (repro.core.bounds)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import bounds
+from repro.exceptions import ParameterError
+
+
+class TestCentralized:
+    def test_shape(self):
+        assert bounds.centralized_sample_complexity(10_000, 1.0) == pytest.approx(100)
+        assert bounds.centralized_sample_complexity(10_000, 0.5) == pytest.approx(400)
+
+    def test_gap_tester_constant_is_sqrt2(self):
+        assert bounds.gap_tester_samples(1000, 0.5) == pytest.approx(
+            math.sqrt(2 * 0.5 * 1000)
+        )
+
+
+class TestZeroRoundUpperBounds:
+    def test_threshold_scales_inverse_sqrt_k(self):
+        a = bounds.threshold_rule_samples(100_000, 1000, 0.8)
+        b = bounds.threshold_rule_samples(100_000, 4000, 0.8)
+        assert a / b == pytest.approx(2.0, rel=1e-6)
+
+    def test_threshold_scales_inverse_eps_squared(self):
+        a = bounds.threshold_rule_samples(100_000, 1000, 0.8)
+        b = bounds.threshold_rule_samples(100_000, 1000, 0.4)
+        # k*delta itself scales as 1/eps^4, so s ~ 1/eps^2; ratio ~ 4.
+        assert b / a == pytest.approx(4.0, rel=0.3)
+
+    def test_and_rule_k_dependence_is_weak(self):
+        # k enters only through k^{1/(2m)}: the saving from 16x more nodes
+        # is far less than the threshold rule's 4x.
+        a = bounds.and_rule_samples(100_000, 1000, 0.8)
+        b = bounds.and_rule_samples(100_000, 16_000, 0.8)
+        assert 1.0 < a / b < 3.0
+
+    def test_and_rule_exceeds_threshold_rule(self):
+        for k in (100, 10_000):
+            assert bounds.and_rule_samples(100_000, k, 0.8) > (
+                bounds.threshold_rule_samples(100_000, k, 0.8)
+            )
+
+    def test_threshold_value_scales_eps_fourth(self):
+        t1 = bounds.threshold_value(0.8)
+        t2 = bounds.threshold_value(0.4)
+        assert t2 / t1 == pytest.approx(16.0, rel=0.35)
+
+
+class TestMultiRound:
+    def test_congest_rounds(self):
+        assert bounds.congest_rounds(10_000, 100, 1.0, diameter=10) == pytest.approx(110)
+
+    def test_congest_package_size_shape(self):
+        assert bounds.congest_package_size(10_000, 100, 1.0) == pytest.approx(100)
+        assert bounds.congest_package_size(10_000, 100, 0.5) == pytest.approx(1600)
+
+    def test_local_radius_between_bounds(self):
+        r = bounds.local_radius(100_000, 10_000, 0.9)
+        assert 2 <= r <= bounds.centralized_sample_complexity(100_000, 0.9) * 10
+
+
+class TestLowerBounds:
+    def test_f_tau_zero_at_one(self):
+        assert bounds.f_tau(1.0) == pytest.approx(0.0)
+
+    def test_f_tau_positive_elsewhere(self):
+        assert bounds.f_tau(2.0) > 0
+        assert bounds.f_tau(0.5) > 0
+
+    def test_kl_separation_parameters_validated(self):
+        with pytest.raises(ParameterError):
+            bounds.kl_separation_lower_bound(0.3, 2.0)  # delta too large
+        with pytest.raises(ParameterError):
+            bounds.kl_separation_lower_bound(0.1, 20.0)  # tau >= 1/delta
+
+    def test_smp_bounds_sandwich(self):
+        n, delta, tau = 10_000, 0.05, 2.0
+        lower = bounds.smp_equality_lower_bound(n, delta, tau)
+        upper = bounds.smp_equality_upper_bound(n, delta, tau)
+        assert lower < upper
+
+    def test_gap_tester_lower_bound_shape(self):
+        a = bounds.gap_tester_lower_bound(10_000, 0.05, 2.0)
+        b = bounds.gap_tester_lower_bound(40_000, 0.05, 2.0)
+        # sqrt(n)/log(n) growth: ratio just under 2.
+        assert 1.5 < b / a < 2.0
+
+    def test_zero_round_lower_bound_shape(self):
+        a = bounds.zero_round_lower_bound(10_000, 100)
+        b = bounds.zero_round_lower_bound(10_000, 400)
+        assert a / b == pytest.approx(2.0, rel=1e-9)
+
+    def test_sandwich_with_construction(self):
+        """Cor 7.4 lower bound < sqrt(2 delta n) gap-tester cost."""
+        n, delta = 100_000, 0.02
+        alpha = 1.5
+        lower = bounds.gap_tester_lower_bound(n, delta, alpha)
+        upper = bounds.gap_tester_samples(n, delta)
+        assert lower < upper

@@ -1,0 +1,181 @@
+"""Tests for the single-collision gap tester A_delta (Section 3.1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollisionGapTester,
+    collision_free_probability_uniform,
+    far_accept_upper_bound,
+    gamma_slack,
+    sample_size_for_delta,
+    validity_region,
+)
+from repro.core.collision import effective_delta, has_collision
+from repro.distributions import far_family, uniform
+from repro.exceptions import ParameterError
+
+
+class TestSampleSizeSolver:
+    def test_exact_relation(self):
+        # s(s-1) <= 2*delta*n < (s+1)s for the returned s.
+        n, delta = 10_000, 0.05
+        s = sample_size_for_delta(n, delta)
+        assert s * (s - 1) <= 2 * delta * n < (s + 1) * s
+
+    def test_minimum_two(self):
+        assert sample_size_for_delta(1000, 1e-9) == 2
+
+    def test_monotone_in_delta(self):
+        sizes = [sample_size_for_delta(100_000, d) for d in (0.01, 0.05, 0.2)]
+        assert sizes == sorted(sizes)
+
+    def test_scaling_sqrt_delta_n(self):
+        # s ~ sqrt(2 delta n): quadrupling n doubles s (asymptotically).
+        s1 = sample_size_for_delta(100_000, 0.1)
+        s2 = sample_size_for_delta(400_000, 0.1)
+        assert s2 == pytest.approx(2 * s1, rel=0.05)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            sample_size_for_delta(0, 0.1)
+        with pytest.raises(ParameterError):
+            sample_size_for_delta(100, 0.0)
+
+    def test_effective_delta_never_exceeds_request(self):
+        for delta in (0.013, 0.07, 0.31):
+            s = sample_size_for_delta(5000, delta)
+            assert effective_delta(5000, s) <= delta + 1e-12
+
+
+class TestGammaSlack:
+    def test_approaches_one(self):
+        # gamma -> 1 as n grows at fixed delta (1/s and sqrt terms vanish).
+        g_small = gamma_slack(10_000, sample_size_for_delta(10_000, 0.001), 0.9)
+        g_large = gamma_slack(10_000_000, sample_size_for_delta(10_000_000, 0.001), 0.9)
+        assert g_large > g_small
+        assert g_large > 0.8
+
+    def test_negative_outside_regime(self):
+        # Large delta at small eps destroys the gap.
+        assert gamma_slack(1000, sample_size_for_delta(1000, 0.3), 0.3) < 0
+
+    def test_formula_matches_eq1(self):
+        n, s, eps = 50_000, 40, 0.8
+        delta = effective_delta(n, s)
+        root = math.sqrt(2 * delta * (1 + eps**2))
+        expected = 1 - 1 / s - root - (1 / s + root) / eps**2
+        assert gamma_slack(n, s, eps) == pytest.approx(expected)
+
+
+class TestValidityRegion:
+    def test_paper_constraints(self):
+        ok, _ = validity_region(10_000_000, 1e-5, 0.9)
+        assert ok
+
+    def test_delta_too_large(self):
+        ok, reason = validity_region(10_000_000, 0.5, 0.9)
+        assert not ok and "eps^4/64" in reason
+
+    def test_n_too_small(self):
+        ok, reason = validity_region(100, 1e-5, 0.9)
+        assert not ok and "64/(eps^4 delta)" in reason
+
+
+class TestExactProbabilities:
+    def test_birthday_product(self):
+        # n=365, s=23: the classic birthday-paradox number.
+        p = collision_free_probability_uniform(365, 23)
+        assert p == pytest.approx(0.4927, abs=1e-3)
+
+    def test_markov_bound_holds(self):
+        # 1 - binom(s,2)/n is a valid lower bound on the product.
+        for n, s in [(1000, 10), (5000, 40), (100, 13)]:
+            exact = collision_free_probability_uniform(n, s)
+            markov = 1 - s * (s - 1) / (2 * n)
+            assert exact >= markov - 1e-12
+
+    def test_s_greater_than_n(self):
+        assert collision_free_probability_uniform(5, 6) == 0.0
+
+    def test_wiener_bound_vs_uniform_truth(self):
+        # Lemma 3.3 with chi = 1/n upper-bounds the true no-collision prob.
+        n, s = 2000, 30
+        exact = collision_free_probability_uniform(n, s)
+        bound = far_accept_upper_bound(1.0 / n, s)
+        assert exact <= bound + 1e-12
+
+
+class TestCollisionDetection:
+    def test_no_collision(self):
+        assert not has_collision(np.array([1, 2, 3, 4]))
+
+    def test_with_collision(self):
+        assert has_collision(np.array([1, 2, 3, 2]))
+
+    def test_single_element(self):
+        assert not has_collision(np.array([7]))
+
+
+class TestTesterObject:
+    def test_decide_polarity(self):
+        t = CollisionGapTester(n=100, s=3)
+        assert t.decide(np.array([1, 2, 3]))      # distinct -> accept
+        assert not t.decide(np.array([1, 2, 1]))  # collision -> reject
+
+    def test_wrong_batch_size_raises(self):
+        t = CollisionGapTester(n=100, s=3)
+        with pytest.raises(ParameterError):
+            t.decide(np.array([1, 2]))
+
+    def test_guarantee_in_regime(self):
+        t = CollisionGapTester.from_delta(50_000_000, 1e-5)
+        g = t.guarantee(0.9)
+        assert g.in_paper_regime
+        assert g.alpha > 1 + 0.4 * 0.81  # gamma >= 1/2 => alpha >= 1+eps^2/2
+
+    def test_guarantee_out_of_regime_flagged(self):
+        t = CollisionGapTester.from_delta(1000, 0.3)
+        g = t.guarantee(0.3)
+        assert not g.in_paper_regime
+
+    def test_samples_required_protocol(self):
+        t = CollisionGapTester(n=100, s=5)
+        assert t.samples_required == 5
+
+
+class TestStatisticalBehaviour:
+    """Monte-Carlo checks of Lemma 3.4's two sides."""
+
+    N = 20_000
+    DELTA = 0.05
+    EPS = 0.9
+    TRIALS = 4000
+
+    def _reject_rate(self, dist, seed):
+        t = CollisionGapTester.from_delta(self.N, self.DELTA)
+        samples = dist.sample_matrix(self.TRIALS, t.s, rng=seed)
+        ordered = np.sort(samples, axis=1)
+        return float((np.diff(ordered, axis=1) == 0).any(axis=1).mean())
+
+    def test_completeness(self):
+        rate = self._reject_rate(uniform(self.N), seed=1)
+        # Pr[reject uniform] <= delta; 4000 trials give sigma ~ 0.003.
+        assert rate <= self.DELTA + 0.015
+
+    def test_soundness_gap(self):
+        t = CollisionGapTester.from_delta(self.N, self.DELTA)
+        far = far_family("paninski", self.N, self.EPS, rng=3)
+        rate_far = self._reject_rate(far, seed=2)
+        floor = (1 + t.gamma(self.EPS) * self.EPS**2) * t.delta
+        assert rate_far >= floor - 0.015
+
+    def test_far_reject_exceeds_uniform_reject(self):
+        rate_u = self._reject_rate(uniform(self.N), seed=4)
+        far = far_family("heavy", self.N, self.EPS, rng=5)
+        rate_f = self._reject_rate(far, seed=6)
+        assert rate_f > rate_u

@@ -1,0 +1,59 @@
+"""Tests for the (delta, alpha)-gap abstractions (Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CentralizedTester, CollisionGapTester, GapGuarantee, GapSpec
+from repro.core.baselines import ChiSquareTester, CollisionCountTester
+from repro.exceptions import ParameterError
+
+
+class TestGapSpec:
+    def test_derived_quantities(self):
+        spec = GapSpec(delta=0.1, alpha=1.5, eps=0.5)
+        assert spec.uniform_reject_bound == pytest.approx(0.1)
+        assert spec.far_reject_bound == pytest.approx(0.15)
+        assert spec.rejection_gap == pytest.approx(0.05)
+
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(ParameterError):
+            GapSpec(delta=0.1, alpha=1.0, eps=0.5)
+
+    def test_delta_range(self):
+        with pytest.raises(ParameterError):
+            GapSpec(delta=0.0, alpha=1.5, eps=0.5)
+        with pytest.raises(ParameterError):
+            GapSpec(delta=1.0, alpha=1.5, eps=0.5)
+
+    def test_unsatisfiable_product(self):
+        with pytest.raises(ParameterError):
+            GapSpec(delta=0.9, alpha=1.5, eps=0.5)
+
+    def test_eps_range(self):
+        with pytest.raises(ParameterError):
+            GapSpec(delta=0.1, alpha=1.2, eps=2.5)
+
+
+class TestGapGuarantee:
+    def test_spec_roundtrip(self):
+        g = GapGuarantee(
+            delta=0.05, alpha=1.4, eps=0.8, samples=30, gamma=0.6,
+            in_paper_regime=True,
+        )
+        spec = g.spec
+        assert spec.delta == 0.05 and spec.alpha == 1.4 and spec.eps == 0.8
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize(
+        "tester",
+        [
+            CollisionGapTester(n=1000, s=5),
+            CollisionCountTester(n=1000, s=50, eps=0.5),
+            ChiSquareTester(n=1000, s=50, eps=0.5),
+        ],
+    )
+    def test_runtime_checkable(self, tester):
+        assert isinstance(tester, CentralizedTester)
+        assert tester.samples_required >= 1

@@ -1,0 +1,156 @@
+"""Tests for the Theorem 1.1 / 1.2 parameter solvers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    and_rule_parameters,
+    cp_constant,
+    threshold_parameters,
+)
+from repro.core.params import threshold_parameters_exact
+from repro.exceptions import InfeasibleParametersError, ParameterError
+
+
+class TestCpConstant:
+    def test_value_at_one_third(self):
+        # The paper: C_{1/3} ~ 2.7.
+        assert cp_constant(1 / 3) == pytest.approx(2.7095, abs=1e-3)
+
+    def test_monotone_decreasing_in_p(self):
+        assert cp_constant(0.1) > cp_constant(0.3) > cp_constant(0.45)
+
+    def test_invalid_p(self):
+        with pytest.raises(ParameterError):
+            cp_constant(0.0)
+
+
+class TestThresholdSolver:
+    def test_feasible_instance(self):
+        params = threshold_parameters(50_000, 20_000, 0.9)
+        assert params.s >= 2
+        assert params.threshold >= 1
+        assert params.gamma > 0
+        assert params.eta_uniform < params.threshold < params.eta_far
+
+    def test_error_bounds_below_budget(self):
+        params = threshold_parameters(50_000, 20_000, 0.9)
+        assert params.completeness_error_bound <= 1 / 3
+        assert params.soundness_error_bound <= 1 / 3
+
+    def test_samples_scale_as_inverse_sqrt_k(self):
+        s_small = threshold_parameters(50_000, 20_000, 0.9).s
+        s_large = threshold_parameters(50_000, 80_000, 0.9).s
+        assert s_large == pytest.approx(s_small / 2, abs=2)
+
+    def test_samples_scale_as_sqrt_n(self):
+        s1 = threshold_parameters(50_000, 40_000, 0.9).s
+        s2 = threshold_parameters(200_000, 40_000, 0.9).s
+        assert s2 == pytest.approx(2 * s1, rel=0.2)
+
+    def test_infeasible_when_n_too_small(self):
+        with pytest.raises(InfeasibleParametersError):
+            threshold_parameters(100, 1000, 0.5)
+
+    def test_delta_matches_s(self):
+        params = threshold_parameters(50_000, 20_000, 0.9)
+        assert params.delta == pytest.approx(
+            params.s * (params.s - 1) / (2 * params.n)
+        )
+
+    def test_node_tester_buildable(self):
+        params = threshold_parameters(50_000, 20_000, 0.9)
+        tester = params.build_node_tester()
+        assert tester.s == params.s
+
+    def test_slack_validation(self):
+        with pytest.raises(ParameterError):
+            threshold_parameters(50_000, 20_000, 0.9, slack=0.5)
+
+    def test_per_node_cost_beats_centralized(self):
+        """The headline: s_per_node << sqrt(n)/eps^2 for large k."""
+        n, k, eps = 50_000, 40_000, 0.9
+        params = threshold_parameters(n, k, eps)
+        centralized = math.sqrt(n) / eps**2
+        assert params.s < centralized / 10
+
+
+class TestThresholdSolverExact:
+    def test_dominates_chernoff(self):
+        """Exact tails never need more samples than the Eq. (5) window."""
+        chernoff = threshold_parameters(50_000, 20_000, 0.9)
+        exact = threshold_parameters_exact(50_000, 20_000, 0.9)
+        assert exact.s <= chernoff.s
+
+    def test_feasible_at_smaller_k(self):
+        # Chernoff is infeasible at k = 2000 (see the scaling tests); the
+        # exact solver is not.
+        with pytest.raises(InfeasibleParametersError):
+            threshold_parameters(50_000, 2_000, 0.9)
+        params = threshold_parameters_exact(50_000, 2_000, 0.9)
+        assert params.s >= 2
+
+    def test_statistically_valid(self):
+        """The exact-window network delivers its error guarantee."""
+        from repro.distributions import far_family, uniform
+        from repro.zeroround.network import collision_reject_flags
+
+        params = threshold_parameters_exact(20_000, 4_000, 0.9)
+        u, f = uniform(20_000), far_family("paninski", 20_000, 0.9, rng=0)
+        wrong_u = sum(
+            int(collision_reject_flags(u, params.k, params.s, rng=i).sum())
+            >= params.threshold
+            for i in range(15)
+        )
+        wrong_f = sum(
+            int(collision_reject_flags(f, params.k, params.s, rng=50 + i).sum())
+            < params.threshold
+            for i in range(15)
+        )
+        assert wrong_u <= 8 and wrong_f <= 8
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleParametersError):
+            threshold_parameters_exact(10_000_000, 10, 0.3)
+
+
+class TestAndRuleSolver:
+    def test_feasible_instance(self):
+        params = and_rule_parameters(50_000, 1024, 1.0, p=0.45)
+        assert params.m >= 1 and params.s_per_repetition >= 2
+        assert params.samples_per_node == params.m * params.s_per_repetition
+        assert params.gamma > 0
+
+    def test_network_error_bounds(self):
+        params = and_rule_parameters(50_000, 1024, 1.0, p=0.45)
+        assert params.network_error_uniform <= 0.45 + 1e-9
+        assert params.network_error_far <= 0.45 + 1e-9
+
+    def test_completeness_budget_exact(self):
+        params = and_rule_parameters(50_000, 1024, 1.0, p=0.45)
+        assert params.delta_node == pytest.approx(1 - 0.55 ** (1 / 1024))
+
+    def test_infeasible_at_small_k(self):
+        # AND-of-m amplification cannot reach constant rejection with few
+        # nodes: each node would need a constant-probability alarm, which
+        # the weak collision signal cannot provide.
+        with pytest.raises(InfeasibleParametersError):
+            and_rule_parameters(50_000, 4, 0.9, p=1 / 3)
+
+    def test_one_third_error_needs_large_k(self):
+        params = and_rule_parameters(1_000_000, 16_384, 1.0, p=1 / 3)
+        assert params.m >= 2  # the gap must be amplified at this C_p
+
+    def test_soundness_inequality_holds(self):
+        params = and_rule_parameters(50_000, 1024, 1.0, p=0.45)
+        assert params.far_reject_per_node >= params.far_reject_needed - 1e-12
+
+    def test_threshold_beats_and_rule(self):
+        """E3's headline comparison at a common configuration."""
+        n, k, eps = 1_000_000, 16_384, 1.0
+        and_params = and_rule_parameters(n, k, eps, p=1 / 3)
+        thr_params = threshold_parameters(n, k, eps, p=1 / 3)
+        assert thr_params.s < and_params.samples_per_node

@@ -1,0 +1,150 @@
+"""Tests for DiscreteDistribution (construction, functionals, sampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import DiscreteDistribution, uniform
+from repro.exceptions import InvalidDistributionError
+
+
+class TestConstruction:
+    def test_normalises_within_tolerance(self):
+        d = DiscreteDistribution([0.25, 0.25, 0.25, 0.25 + 1e-9])
+        assert abs(d.probs.sum() - 1.0) < 1e-12
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution([0.5, -0.1, 0.6])
+
+    def test_rejects_wrong_total(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution([0.5, 0.2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution([0.5, float("nan"), 0.5])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution([[0.5, 0.5]])
+
+    def test_probs_are_read_only(self):
+        d = uniform(4)
+        with pytest.raises(ValueError):
+            d.probs[0] = 0.9
+
+
+class TestAccessors:
+    def test_domain_size(self):
+        assert uniform(17).n == 17
+
+    def test_prob_lookup(self):
+        d = DiscreteDistribution([0.5, 0.3, 0.2])
+        assert d.prob(1) == pytest.approx(0.3)
+
+    def test_support(self):
+        d = DiscreteDistribution([0.5, 0.0, 0.5])
+        assert list(d.support()) == [0, 2]
+        assert d.support_size() == 2
+
+    def test_is_uniform(self):
+        assert uniform(10).is_uniform()
+        assert not DiscreteDistribution([0.6, 0.4]).is_uniform()
+
+
+class TestFunctionals:
+    def test_collision_probability_uniform(self):
+        assert uniform(100).collision_probability() == pytest.approx(0.01)
+
+    def test_collision_probability_point_mass(self):
+        d = DiscreteDistribution([1.0, 0.0, 0.0])
+        assert d.collision_probability() == pytest.approx(1.0)
+
+    def test_entropy_uniform(self):
+        assert uniform(8).entropy() == pytest.approx(np.log(8))
+
+    def test_renyi2_matches_collision(self):
+        d = DiscreteDistribution([0.5, 0.25, 0.25])
+        assert d.renyi2_entropy() == pytest.approx(-np.log(d.collision_probability()))
+
+
+class TestSampling:
+    def test_sample_shape_and_range(self):
+        d = uniform(50)
+        s = d.sample(1000, rng=0)
+        assert s.shape == (1000,)
+        assert s.min() >= 0 and s.max() < 50
+
+    def test_sample_deterministic_with_seed(self):
+        d = uniform(50)
+        assert np.array_equal(d.sample(100, rng=5), d.sample(100, rng=5))
+
+    def test_sample_zero(self):
+        assert uniform(10).sample(0, rng=0).size == 0
+
+    def test_sample_negative_raises(self):
+        with pytest.raises(ValueError):
+            uniform(10).sample(-1)
+
+    def test_sample_respects_support(self):
+        d = DiscreteDistribution([0.0, 1.0, 0.0])
+        assert set(d.sample(200, rng=1)) == {1}
+
+    def test_sample_matrix_shape(self):
+        m = uniform(20).sample_matrix(4, 6, rng=2)
+        assert m.shape == (4, 6)
+
+    def test_sample_frequencies_converge(self):
+        d = DiscreteDistribution([0.7, 0.3])
+        s = d.sample(20_000, rng=3)
+        assert (s == 0).mean() == pytest.approx(0.7, abs=0.02)
+
+
+class TestDerivations:
+    def test_mix_halfway(self):
+        a = DiscreteDistribution([1.0, 0.0])
+        b = DiscreteDistribution([0.0, 1.0])
+        assert np.allclose(a.mix(b, 0.5).probs, [0.5, 0.5])
+
+    def test_mix_domain_mismatch(self):
+        with pytest.raises(InvalidDistributionError):
+            uniform(3).mix(uniform(4), 0.5)
+
+    def test_permuted_preserves_multiset(self):
+        d = DiscreteDistribution([0.5, 0.3, 0.2])
+        p = d.permuted([2, 0, 1])
+        assert sorted(p.probs) == sorted(d.probs)
+        assert p.prob(2) == pytest.approx(0.5)
+
+    def test_permuted_invalid(self):
+        with pytest.raises(ValueError):
+            uniform(3).permuted([0, 0, 1])
+
+    def test_conditioned_on(self):
+        d = DiscreteDistribution([0.5, 0.3, 0.2])
+        c = d.conditioned_on([0, 1])
+        assert c.prob(2) == 0.0
+        assert c.prob(0) == pytest.approx(0.625)
+
+    def test_conditioned_on_null_event(self):
+        d = DiscreteDistribution([0.5, 0.5, 0.0])
+        with pytest.raises(InvalidDistributionError):
+            d.conditioned_on([2])
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        assert uniform(5) == uniform(5)
+        assert uniform(5) != uniform(6)
+
+    def test_hash_consistency(self):
+        assert hash(uniform(5)) == hash(uniform(5))
+
+    def test_repr_mentions_name(self):
+        assert "uniform" in repr(uniform(5))

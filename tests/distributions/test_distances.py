@@ -1,0 +1,154 @@
+"""Tests for distance/divergence functionals."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    DiscreteDistribution,
+    chi_square_divergence,
+    collision_probability,
+    hellinger_distance,
+    kl_divergence,
+    l1_distance,
+    l1_distance_to_uniform,
+    l2_distance,
+    total_variation,
+    uniform,
+)
+from repro.distributions.distances import bernoulli_kl
+from repro.exceptions import InvalidDistributionError
+
+
+@pytest.fixture
+def p():
+    return DiscreteDistribution([0.5, 0.3, 0.2])
+
+
+@pytest.fixture
+def q():
+    return DiscreteDistribution([0.2, 0.3, 0.5])
+
+
+class TestL1:
+    def test_zero_on_self(self, p):
+        assert l1_distance(p, p) == 0.0
+
+    def test_symmetric(self, p, q):
+        assert l1_distance(p, q) == pytest.approx(l1_distance(q, p))
+
+    def test_known_value(self, p, q):
+        assert l1_distance(p, q) == pytest.approx(0.6)
+
+    def test_max_is_two(self):
+        a = DiscreteDistribution([1.0, 0.0])
+        b = DiscreteDistribution([0.0, 1.0])
+        assert l1_distance(a, b) == pytest.approx(2.0)
+
+    def test_tv_is_half_l1(self, p, q):
+        assert total_variation(p, q) == pytest.approx(l1_distance(p, q) / 2)
+
+    def test_domain_mismatch(self, p):
+        with pytest.raises(InvalidDistributionError):
+            l1_distance(p, uniform(4))
+
+    def test_distance_to_uniform_helper(self, p):
+        assert l1_distance_to_uniform(p) == pytest.approx(
+            l1_distance(p, uniform(3))
+        )
+
+    def test_accepts_raw_arrays(self):
+        assert l1_distance(np.array([0.5, 0.5]), np.array([1.0, 0.0])) == 1.0
+
+
+class TestL2:
+    def test_l2_le_l1(self, p, q):
+        assert l2_distance(p, q) <= l1_distance(p, q) + 1e-12
+
+    def test_l2_known(self):
+        a = DiscreteDistribution([1.0, 0.0])
+        b = DiscreteDistribution([0.0, 1.0])
+        assert l2_distance(a, b) == pytest.approx(math.sqrt(2))
+
+
+class TestKL:
+    def test_zero_on_self(self, p):
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_positive_otherwise(self, p, q):
+        assert kl_divergence(p, q) > 0
+
+    def test_infinite_off_support(self):
+        a = DiscreteDistribution([0.5, 0.5, 0.0])
+        b = DiscreteDistribution([0.5, 0.0, 0.5])
+        assert kl_divergence(b, a) == math.inf
+
+    def test_asymmetric(self, p):
+        r = DiscreteDistribution([0.1, 0.3, 0.6])
+        assert kl_divergence(p, r) != pytest.approx(kl_divergence(r, p))
+
+
+class TestChiSquare:
+    def test_zero_on_self(self, p):
+        assert chi_square_divergence(p, p) == pytest.approx(0.0)
+
+    def test_dominates_l2_over_uniform(self):
+        # chi^2 against uniform = n * ||p - u||_2^2.
+        d = DiscreteDistribution([0.4, 0.3, 0.3])
+        u = uniform(3)
+        assert chi_square_divergence(d, u) == pytest.approx(
+            3 * l2_distance(d, u) ** 2
+        )
+
+    def test_infinite_off_support(self):
+        a = DiscreteDistribution([1.0, 0.0])
+        b = DiscreteDistribution([0.5, 0.5])
+        assert chi_square_divergence(b, a) == math.inf
+
+
+class TestHellinger:
+    def test_range(self, p, q):
+        assert 0 < hellinger_distance(p, q) < 1
+
+    def test_max_on_disjoint(self):
+        a = DiscreteDistribution([1.0, 0.0])
+        b = DiscreteDistribution([0.0, 1.0])
+        assert hellinger_distance(a, b) == pytest.approx(1.0)
+
+
+class TestCollisionProbability:
+    def test_uniform_minimises(self):
+        n = 50
+        u = collision_probability(uniform(n))
+        skew = collision_probability(DiscreteDistribution(
+            np.concatenate([[2.0 / n], np.full(n - 2, 1.0 / n), [0.0]])
+        ))
+        assert u == pytest.approx(1.0 / n)
+        assert skew > u
+
+    def test_lemma_3_2_on_paninski(self):
+        """Lemma 3.2: eps-far implies chi >= (1+eps^2)/n (tight for Paninski)."""
+        from repro.distributions import paninski_pair
+
+        n, eps = 1000, 0.6
+        d = paninski_pair(n, eps, rng=0)
+        assert d.collision_probability() == pytest.approx((1 + eps**2) / n)
+
+
+class TestBernoulliKL:
+    def test_zero_on_equal(self):
+        assert bernoulli_kl(0.3, 0.3) == pytest.approx(0.0)
+
+    def test_boundary_zero(self):
+        assert bernoulli_kl(0.0, 0.5) == pytest.approx(math.log(2))
+
+    def test_infinite_cases(self):
+        assert bernoulli_kl(0.5, 0.0) == math.inf
+        assert bernoulli_kl(0.5, 1.0) == math.inf
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            bernoulli_kl(1.5, 0.5)

@@ -1,0 +1,125 @@
+"""Tests for sample-based estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import far_family, uniform
+from repro.distributions.estimators import (
+    bootstrap_ci,
+    collision_probability_estimate,
+    empirical_distribution,
+    l1_bracket_from_l2,
+    l2_distance_to_uniform_estimate,
+)
+from repro.exceptions import ParameterError
+
+
+class TestEmpiricalDistribution:
+    def test_matches_counts(self):
+        emp = empirical_distribution(np.array([0, 0, 1, 2]), 4)
+        assert emp.prob(0) == pytest.approx(0.5)
+        assert emp.prob(3) == 0.0
+
+    def test_domain_checked(self):
+        with pytest.raises(ParameterError):
+            empirical_distribution(np.array([5]), 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            empirical_distribution(np.array([], dtype=int), 3)
+
+
+class TestCollisionEstimate:
+    def test_unbiased_on_uniform(self):
+        n, s = 200, 400
+        u = uniform(n)
+        estimates = [
+            collision_probability_estimate(u.sample(s, rng=i), n)
+            for i in range(300)
+        ]
+        assert np.mean(estimates) == pytest.approx(1.0 / n, rel=0.05)
+
+    def test_unbiased_on_far(self):
+        n, s, eps = 200, 400, 0.8
+        far = far_family("paninski", n, eps, rng=0)
+        true_chi = far.collision_probability()
+        estimates = [
+            collision_probability_estimate(far.sample(s, rng=100 + i), n)
+            for i in range(300)
+        ]
+        assert np.mean(estimates) == pytest.approx(true_chi, rel=0.05)
+
+    def test_exact_on_degenerate(self):
+        # All samples identical: chi_hat = 1.
+        assert collision_probability_estimate(np.zeros(10, dtype=int), 5) == 1.0
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ParameterError):
+            collision_probability_estimate(np.array([1]), 5)
+
+
+class TestL2Estimate:
+    def test_near_zero_on_uniform(self):
+        n = 500
+        est = l2_distance_to_uniform_estimate(uniform(n).sample(3000, rng=1), n)
+        assert est <= 0.02
+
+    def test_recovers_true_l2_on_far(self):
+        n, eps = 500, 0.8
+        far = far_family("paninski", n, eps, rng=2)
+        true_l2 = float(np.sqrt(((far.probs - 1 / n) ** 2).sum()))
+        est = l2_distance_to_uniform_estimate(far.sample(20_000, rng=3), n)
+        assert est == pytest.approx(true_l2, rel=0.15)
+
+    def test_clipped_at_zero(self):
+        # Tiny samples of uniform may produce chi_hat < 1/n: no NaNs.
+        n = 1000
+        est = l2_distance_to_uniform_estimate(uniform(n).sample(50, rng=4), n)
+        assert est >= 0.0
+
+
+class TestL1Bracket:
+    def test_contains_truth_on_families(self):
+        n, eps = 400, 0.7
+        for family in ("paninski", "two_bump", "heavy"):
+            far = far_family(family, n, eps, rng=5)
+            est = l2_distance_to_uniform_estimate(far.sample(30_000, rng=6), n)
+            lo, hi = l1_bracket_from_l2(est, n)
+            assert lo <= eps * 1.1
+            assert hi >= eps * 0.9
+
+    def test_upper_clipped_at_two(self):
+        assert l1_bracket_from_l2(1.5, 10_000)[1] == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            l1_bracket_from_l2(-0.1, 10)
+
+
+class TestBootstrap:
+    def test_interval_contains_plugin_mean(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(5.0, 1.0, size=400)
+        lo, hi = bootstrap_ci(samples, lambda b: float(np.mean(b)), rng=1)
+        assert lo <= 5.0 <= hi
+        assert hi - lo < 0.5
+
+    def test_collision_statistic_interval(self):
+        n = 200
+        far = far_family("paninski", n, 0.8, rng=7)
+        samples = far.sample(2000, rng=8)
+        lo, hi = bootstrap_ci(
+            samples,
+            lambda b: collision_probability_estimate(b, n),
+            rng=9,
+        )
+        assert lo <= far.collision_probability() * 1.3
+        assert hi >= far.collision_probability() * 0.7
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            bootstrap_ci(np.array([1.0]), lambda b: 0.0)
+        with pytest.raises(ParameterError):
+            bootstrap_ci(np.arange(10), lambda b: 0.0, level=1.5)

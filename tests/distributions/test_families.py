@@ -1,0 +1,149 @@
+"""Tests for the certified far-family builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    FAR_FAMILY_BUILDERS,
+    far_family,
+    heavy_element,
+    l1_distance_to_uniform,
+    mixture,
+    paninski_pair,
+    restricted_support,
+    two_bump,
+    uniform,
+    zipf,
+)
+from repro.exceptions import ParameterError
+
+
+ALL_FAMILIES = sorted(FAR_FAMILY_BUILDERS)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    @pytest.mark.parametrize("eps", [0.1, 0.5, 0.9])
+    def test_exact_distance(self, family, eps):
+        d = far_family(family, 1000, eps, rng=3)
+        assert l1_distance_to_uniform(d) == pytest.approx(eps, abs=1e-9)
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_odd_eps_values(self, family):
+        d = far_family(family, 1000, 0.437, rng=3)
+        assert l1_distance_to_uniform(d) == pytest.approx(0.437, abs=1e-9)
+
+    def test_unknown_family(self):
+        with pytest.raises(ParameterError):
+            far_family("nope", 100, 0.5)
+
+
+class TestPaninski:
+    def test_requires_even_n(self):
+        with pytest.raises(ParameterError):
+            paninski_pair(11, 0.5)
+
+    def test_requires_eps_le_one(self):
+        with pytest.raises(ParameterError):
+            paninski_pair(10, 1.2)
+
+    def test_collision_probability_meets_lemma32_exactly(self):
+        n, eps = 500, 0.4
+        d = paninski_pair(n, eps, rng=1)
+        assert d.collision_probability() == pytest.approx((1 + eps * eps) / n)
+
+    def test_randomised_signs_differ_across_seeds(self):
+        a = paninski_pair(100, 0.5, rng=1)
+        b = paninski_pair(100, 0.5, rng=2)
+        assert not np.array_equal(a.probs, b.probs)
+
+    def test_pair_structure(self):
+        d = paninski_pair(10, 0.5, rng=0)
+        pairs = d.probs.reshape(5, 2)
+        assert np.allclose(pairs.sum(axis=1), 0.2)
+
+
+class TestTwoBump:
+    def test_mass_split(self):
+        d = two_bump(100, 0.6)
+        assert d.probs[:50].sum() == pytest.approx(0.5 + 0.3)
+
+    def test_odd_domain(self):
+        d = two_bump(101, 0.4)
+        assert l1_distance_to_uniform(d) == pytest.approx(0.4, abs=1e-9)
+        # Middle element untouched.
+        assert d.prob(50) == pytest.approx(1.0 / 101)
+
+    def test_too_large_eps_rejected(self):
+        with pytest.raises(ParameterError):
+            two_bump(10, 1.99)
+
+
+class TestHeavyElement:
+    def test_heavy_mass(self):
+        d = heavy_element(100, 0.5, element=7)
+        assert d.prob(7) == pytest.approx(1.0 / 100 + 0.25)
+
+    def test_maximises_collision_among_families(self):
+        n, eps = 1000, 0.5
+        chis = {
+            family: far_family(family, n, eps, rng=0).collision_probability()
+            for family in ALL_FAMILIES
+        }
+        assert chis["heavy"] == max(chis.values())
+        # paninski and two_bump both sit exactly at the Lemma 3.2 floor
+        # (1 + eps^2)/n; allow float noise in the tie.
+        assert chis["paninski"] == pytest.approx(min(chis.values()), rel=1e-9)
+
+    def test_element_range_checked(self):
+        with pytest.raises(ParameterError):
+            heavy_element(10, 0.5, element=10)
+
+
+class TestRestrictedSupport:
+    def test_integer_support_case(self):
+        # eps = 0.5 with n = 1000 -> support exactly 750.
+        d = restricted_support(1000, 0.5)
+        assert l1_distance_to_uniform(d) == pytest.approx(0.5, abs=1e-12)
+
+    def test_fractional_support_case(self):
+        d = restricted_support(1000, 0.333)
+        assert l1_distance_to_uniform(d) == pytest.approx(0.333, abs=1e-9)
+
+    def test_support_shrinks_with_eps(self):
+        small = restricted_support(1000, 0.2).support_size()
+        large = restricted_support(1000, 0.8).support_size()
+        assert large < small
+
+
+class TestZipf:
+    def test_exponent_zero_is_uniform(self):
+        assert zipf(50, 0.0).is_uniform()
+
+    def test_monotone_decreasing(self):
+        d = zipf(100, 1.0)
+        assert np.all(np.diff(d.probs) <= 0)
+
+    def test_farther_with_larger_exponent(self):
+        d1 = l1_distance_to_uniform(zipf(100, 0.5))
+        d2 = l1_distance_to_uniform(zipf(100, 1.5))
+        assert d2 > d1
+
+
+class TestMixture:
+    def test_mixture_of_identical_is_identity(self):
+        u = uniform(10)
+        m = mixture([u, u], [0.3, 0.7])
+        assert np.allclose(m.probs, u.probs)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ParameterError):
+            mixture([uniform(5), uniform(5)], [0.5, 0.6])
+
+    def test_mixture_interpolates_distance(self):
+        u = uniform(100)
+        f = two_bump(100, 0.8)
+        m = mixture([u, f], [0.5, 0.5])
+        assert l1_distance_to_uniform(m) == pytest.approx(0.4, abs=1e-9)

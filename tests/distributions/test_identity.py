@@ -1,0 +1,130 @@
+"""Tests for the identity-to-uniformity filter reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    DiscreteDistribution,
+    IdentityFilter,
+    grain,
+    l1_distance,
+    uniform,
+    zipf,
+)
+from repro.exceptions import ParameterError
+
+
+class TestGrain:
+    def test_grained_is_exact_multiple(self):
+        eta = zipf(20, 1.0)
+        g = grain(eta, 100)
+        scaled = g.probs * 100
+        assert np.allclose(scaled, np.round(scaled), atol=1e-9)
+
+    def test_grain_error_bounded(self):
+        eta = zipf(50, 1.0)
+        m = 1000
+        g = grain(eta, m)
+        assert l1_distance(g, eta) <= 50 / m
+
+    def test_grain_preserves_grained_input(self):
+        eta = DiscreteDistribution([0.5, 0.25, 0.25])
+        g = grain(eta, 4)
+        assert np.allclose(g.probs, eta.probs)
+
+    def test_grain_too_small_m(self):
+        with pytest.raises(ParameterError):
+            grain(uniform(10), 5)
+
+
+class TestIdentityFilter:
+    def test_rejects_non_grained_target(self):
+        eta = DiscreteDistribution([1 / 3, 1 / 3, 1 / 3])
+        with pytest.raises(ParameterError):
+            IdentityFilter.for_target(eta, m=4)
+
+    def test_uniform_image_when_mu_equals_eta(self):
+        eta = DiscreteDistribution([0.5, 0.25, 0.25])
+        filt = IdentityFilter.for_target(eta, m=4)
+        image = filt.image_distribution(eta)
+        assert image.is_uniform()
+        assert image.n == 4
+
+    def test_distance_preserved_full_support(self):
+        eta = DiscreteDistribution([0.5, 0.25, 0.25])
+        mu = DiscreteDistribution([0.25, 0.5, 0.25])
+        filt = IdentityFilter.for_target(eta, m=4)
+        input_dist, image_dist = filt.distance_guarantee(mu)
+        assert input_dist == pytest.approx(0.5)
+        assert image_dist == pytest.approx(input_dist)
+
+    def test_sampled_filter_matches_image_distribution(self):
+        eta = DiscreteDistribution([0.5, 0.25, 0.25])
+        mu = DiscreteDistribution([0.25, 0.5, 0.25])
+        filt = IdentityFilter.for_target(eta, m=4)
+        samples = mu.sample(40_000, rng=0)
+        image = filt.apply(samples, rng=1)
+        counts = np.bincount(image, minlength=4) / image.size
+        expected = filt.image_distribution(mu).probs
+        assert np.allclose(counts, expected, atol=0.01)
+
+    def test_apply_is_private_coin(self):
+        # Two invocations with different rngs give different bucketings but
+        # the same histogram in expectation.
+        eta = DiscreteDistribution([0.5, 0.5])
+        filt = IdentityFilter.for_target(eta, m=4)
+        samples = eta.sample(100, rng=0)
+        a = filt.apply(samples, rng=1)
+        b = filt.apply(samples, rng=2)
+        assert not np.array_equal(a, b)
+
+    def test_zero_probability_elements_map_to_junk(self):
+        eta = DiscreteDistribution([0.5, 0.5, 0.0])
+        filt = IdentityFilter.for_target(eta, m=4)
+        assert filt.image_domain_size == 5
+        out = filt.apply(np.array([2, 2, 2]), rng=0)
+        assert set(out) == {4}
+
+    def test_junk_mass_shows_in_image_distance(self):
+        # mu puts mass where eta has none: the image must be far from U_m.
+        eta = DiscreteDistribution([0.5, 0.5, 0.0])
+        mu = DiscreteDistribution([0.25, 0.25, 0.5])
+        filt = IdentityFilter.for_target(eta, m=4)
+        _, image_dist = filt.distance_guarantee(mu)
+        assert image_dist >= 0.5
+
+    def test_samples_out_of_domain_rejected(self):
+        eta = DiscreteDistribution([0.5, 0.5])
+        filt = IdentityFilter.for_target(eta, m=2)
+        with pytest.raises(ValueError):
+            filt.apply(np.array([5]), rng=0)
+
+    def test_end_to_end_identity_testing_via_uniformity(self):
+        """The motivating pipeline: test identity to zipf via the filter."""
+        from repro.core import CollisionGapTester
+
+        n, m = 100, 4000
+        eta = grain(zipf(n, 1.0), m)
+        filt = IdentityFilter.for_target(eta, m)
+        tester = CollisionGapTester.from_delta(filt.image_domain_size, 0.2)
+
+        # mu = eta: filtered samples are uniform; acceptance ~ 1 - 0.2.
+        accept_eq = 0
+        trials = 200
+        for t in range(trials):
+            raw = eta.sample(tester.samples_required, rng=1000 + t)
+            if tester.decide(filt.apply(raw, rng=2000 + t)):
+                accept_eq += 1
+        # mu far from eta: point mass on the heaviest element.
+        probs = np.zeros(n)
+        probs[0] = 1.0
+        mu_far = DiscreteDistribution(probs)
+        accept_far = 0
+        for t in range(trials):
+            raw = mu_far.sample(tester.samples_required, rng=3000 + t)
+            if tester.decide(filt.apply(raw, rng=4000 + t)):
+                accept_far += 1
+        assert accept_eq > accept_far  # the gap signal survives the filter
+        assert accept_eq / trials >= 0.7

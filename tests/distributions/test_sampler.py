@@ -1,0 +1,60 @@
+"""Tests for sample oracles (information boundary + accounting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import CountingOracle, SampleOracle, uniform
+
+
+class TestSampleOracle:
+    def test_draw_shape(self):
+        oracle = SampleOracle(uniform(30), rng=0)
+        assert oracle.draw(12).shape == (12,)
+
+    def test_domain_size_exposed(self):
+        assert SampleOracle(uniform(30), rng=0).domain_size == 30
+
+    def test_split_streams_are_independent(self):
+        oracle = SampleOracle(uniform(1000), rng=0)
+        parts = oracle.split(3)
+        draws = [tuple(p.draw(10)) for p in parts]
+        assert len(set(draws)) == 3
+
+    def test_split_deterministic(self):
+        a = SampleOracle(uniform(1000), rng=5).split(2)[0].draw(10)
+        b = SampleOracle(uniform(1000), rng=5).split(2)[0].draw(10)
+        assert np.array_equal(a, b)
+
+
+class TestCountingOracle:
+    def test_counts_accumulate(self):
+        oracle = CountingOracle(uniform(30), rng=0)
+        oracle.draw(5)
+        oracle.draw(7)
+        assert oracle.samples_drawn == 12
+
+    def test_cost_charged(self):
+        oracle = CountingOracle(uniform(30), rng=0, cost_per_sample=2.5)
+        oracle.draw(4)
+        assert oracle.total_cost == pytest.approx(10.0)
+
+    def test_budget_enforced(self):
+        oracle = CountingOracle(uniform(30), rng=0, budget=10)
+        oracle.draw(8)
+        assert oracle.remaining_budget == 2
+        with pytest.raises(RuntimeError):
+            oracle.draw(3)
+
+    def test_budget_exact_boundary_ok(self):
+        oracle = CountingOracle(uniform(30), rng=0, budget=10)
+        oracle.draw(10)
+        assert oracle.remaining_budget == 0
+
+    def test_invalid_cost(self):
+        with pytest.raises(ValueError):
+            CountingOracle(uniform(30), cost_per_sample=0.0)
+
+    def test_unlimited_budget_is_none(self):
+        assert CountingOracle(uniform(30)).remaining_budget is None

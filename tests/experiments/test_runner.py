@@ -1,0 +1,44 @@
+"""Tests for the seeded trial runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments import TrialRunner, estimate_probability
+
+
+class TestTrialRunner:
+    def test_reproducible_across_instances(self):
+        def coin(rng: np.random.Generator) -> bool:
+            return bool(rng.random() < 0.3)
+
+        a = TrialRunner(base_seed=5).error_rate(coin, 200, "cfg", 1)
+        b = TrialRunner(base_seed=5).error_rate(coin, 200, "cfg", 1)
+        assert a.failures == b.failures
+
+    def test_labels_isolate_configurations(self):
+        def coin(rng):
+            return bool(rng.random() < 0.5)
+
+        a = TrialRunner(base_seed=5).error_rate(coin, 100, "cfg", 1)
+        b = TrialRunner(base_seed=5).error_rate(coin, 100, "cfg", 2)
+        assert a.failures != b.failures  # overwhelming probability
+
+    def test_rate_converges(self):
+        def coin(rng):
+            return bool(rng.random() < 0.25)
+
+        est = TrialRunner(base_seed=0).error_rate(coin, 3000, "p25")
+        assert est.rate == pytest.approx(0.25, abs=0.03)
+
+    def test_trial_count_validated(self):
+        with pytest.raises(ParameterError):
+            TrialRunner(base_seed=0).error_rate(lambda rng: True, 0)
+
+
+class TestEstimateProbability:
+    def test_convenience_wrapper(self):
+        est = estimate_probability(lambda rng: bool(rng.random() < 0.1), 1000, seed=1)
+        assert est.rate == pytest.approx(0.1, abs=0.04)

@@ -1,0 +1,79 @@
+"""Tests for statistical helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments import (
+    ErrorEstimate,
+    empirical_sample_complexity,
+    estimate,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(20, 100)
+        assert low < 0.2 < high
+
+    def test_zero_failures(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0
+        assert 0 < high < 0.15
+
+    def test_all_failures(self):
+        low, high = wilson_interval(50, 50)
+        assert high == pytest.approx(1.0)
+        assert low > 0.85
+
+    def test_narrows_with_trials(self):
+        w1 = wilson_interval(10, 100)
+        w2 = wilson_interval(100, 1000)
+        assert (w2[1] - w2[0]) < (w1[1] - w1[0])
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            wilson_interval(5, 0)
+        with pytest.raises(ParameterError):
+            wilson_interval(11, 10)
+
+
+class TestEstimate:
+    def test_wraps_counts(self):
+        e = estimate(3, 30)
+        assert isinstance(e, ErrorEstimate)
+        assert e.rate == pytest.approx(0.1)
+        assert e.low <= 0.1 <= e.high
+
+    def test_str_formatting(self):
+        s = str(estimate(3, 30))
+        assert "[" in s and "]" in s
+
+
+class TestEmpiricalSampleComplexity:
+    def test_finds_deterministic_threshold(self):
+        # error = 1 below 37, 0 at/above.
+        found = empirical_sample_complexity(
+            lambda s: 0.0 if s >= 37 else 1.0, target_error=0.5
+        )
+        assert found == 37
+
+    def test_none_when_unreachable(self):
+        found = empirical_sample_complexity(
+            lambda s: 1.0, target_error=0.5, s_max=128
+        )
+        assert found is None
+
+    def test_smooth_decreasing_curve(self):
+        found = empirical_sample_complexity(
+            lambda s: 1.0 / s, target_error=0.01, s_max=1000
+        )
+        assert found == 100
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            empirical_sample_complexity(lambda s: 0.0, target_error=0.0)
+        with pytest.raises(ParameterError):
+            empirical_sample_complexity(lambda s: 0.0, 0.5, s_min=10, s_max=5)

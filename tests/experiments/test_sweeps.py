@@ -1,0 +1,66 @@
+"""Tests for sweep grids and scaling diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments import geometric_grid, geometric_int_grid, loglog_slope, relative_spread
+
+
+class TestGrids:
+    def test_geometric_endpoints(self):
+        grid = geometric_grid(1.0, 100.0, 5)
+        assert grid[0] == pytest.approx(1.0)
+        assert grid[-1] == pytest.approx(100.0)
+
+    def test_geometric_ratio_constant(self):
+        grid = geometric_grid(2.0, 32.0, 5)
+        ratios = [b / a for a, b in zip(grid, grid[1:])]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    def test_int_grid_dedupes(self):
+        grid = geometric_int_grid(1, 10, 20)
+        assert grid == sorted(set(grid))
+        assert grid[0] == 1 and grid[-1] == 10
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            geometric_grid(0.0, 10.0, 3)
+        with pytest.raises(ParameterError):
+            geometric_grid(1.0, 10.0, 1)
+
+
+class TestLogLogSlope:
+    def test_recovers_power_law(self):
+        xs = [10, 100, 1000]
+        ys = [x**-0.5 for x in xs]
+        slope, _ = loglog_slope(xs, ys)
+        assert slope == pytest.approx(-0.5, abs=1e-9)
+
+    def test_intercept(self):
+        xs = [1.0, 2.0, 4.0]
+        ys = [3.0 * x**2 for x in xs]
+        slope, intercept = loglog_slope(xs, ys)
+        assert slope == pytest.approx(2.0)
+        import math
+
+        assert intercept == pytest.approx(math.log(3.0))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            loglog_slope([1.0], [1.0])
+        with pytest.raises(ParameterError):
+            loglog_slope([1.0, -2.0], [1.0, 2.0])
+
+
+class TestRelativeSpread:
+    def test_flat_series(self):
+        assert relative_spread([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        assert relative_spread([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ParameterError):
+            relative_spread([-1.0, 1.0])

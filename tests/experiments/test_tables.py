@@ -1,0 +1,44 @@
+"""Tests for the ASCII table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["a", "long_column"], title="T")
+        t.add_row([1, "x"])
+        t.add_row([22222, "yy"])
+        lines = t.render().splitlines()
+        assert lines[0] == "T"
+        assert all("|" in line for line in lines[1:] if "-+-" not in line)
+        # Column boundaries align.
+        pipes = [line.index("|") for line in lines[1:] if "|" in line]
+        assert len(set(pipes)) == 1
+
+    def test_row_width_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row([0.5])
+        t.add_row([1234.5678])
+        t.add_row([0.000123])
+        body = t.render()
+        assert "0.5" in body
+        assert "1.23e+03" in body or "1234" in body
+        assert "0.000123" in body
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_no_title(self):
+        t = Table(["x"])
+        t.add_row([1])
+        assert not t.render().startswith("\n")

@@ -1,0 +1,71 @@
+"""Cross-model consistency: all the paper's testers agree on easy inputs.
+
+Every model in the library — 0-round threshold, 0-round AND, CONGEST,
+referee — ultimately tests the same promise problem.  On *easy* inputs
+(uniform, and maximally-far distributions) they must all land on the same
+side with their respective guarantees; this test pins that consistency,
+which a refactor of any shared substrate (sampling, collision kernel,
+binomial tails) would be most likely to break.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import CongestUniformityTester
+from repro.distributions import far_family, uniform
+from repro.simulator import Topology
+from repro.smp import RefereeProtocol
+from repro.zeroround import ThresholdNetworkTester
+
+
+class TestAllModelsAgree:
+    N = 4_096
+    EPS = 1.0
+
+    @pytest.fixture(scope="class")
+    def verdicts(self):
+        n, eps = self.N, self.EPS
+        u = uniform(n)
+        far = far_family("paninski", n, eps, rng=0)
+
+        votes = {"uniform": {}, "far": {}}
+
+        thr = ThresholdNetworkTester.solve(n, 8_000, eps)
+        votes["uniform"]["threshold"] = [thr.test(u, rng=i) for i in range(5)]
+        votes["far"]["threshold"] = [thr.test(far, rng=50 + i) for i in range(5)]
+
+        congest = CongestUniformityTester.solve(n, 4_000, eps, samples_per_node=4)
+        star = Topology.star(4_000)
+        votes["uniform"]["congest"] = [
+            congest.run(star, u, rng=100 + i)[0] for i in range(3)
+        ]
+        votes["far"]["congest"] = [
+            congest.run(star, far, rng=200 + i)[0] for i in range(3)
+        ]
+
+        ref = RefereeProtocol(
+            n=n, eps=eps, message_bits=8,
+            players=RefereeProtocol.players_needed(n, eps, 8),
+        )
+        votes["uniform"]["referee"] = [ref.run(u, rng=300 + i) for i in range(5)]
+        votes["far"]["referee"] = [ref.run(far, rng=400 + i) for i in range(5)]
+        return votes
+
+    def test_every_model_mostly_accepts_uniform(self, verdicts):
+        for model, vs in verdicts["uniform"].items():
+            assert sum(vs) >= len(vs) - 1, (model, vs)
+
+    def test_every_model_mostly_rejects_far(self, verdicts):
+        for model, vs in verdicts["far"].items():
+            assert sum(vs) <= 1, (model, vs)
+
+    def test_majority_verdicts_unanimous_across_models(self, verdicts):
+        majorities_u = {
+            model: sum(vs) * 2 > len(vs) for model, vs in verdicts["uniform"].items()
+        }
+        majorities_f = {
+            model: sum(vs) * 2 > len(vs) for model, vs in verdicts["far"].items()
+        }
+        assert all(majorities_u.values())
+        assert not any(majorities_f.values())

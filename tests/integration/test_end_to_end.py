@@ -1,0 +1,128 @@
+"""Cross-module integration tests: the paper's pipelines end to end.
+
+Each test exercises a complete chain the way a downstream user would:
+solve parameters → run the distributed protocol → check the statistical
+outcome, across all three models plus the lower-bound machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AndRuleNetworkTester,
+    CostVector,
+    ThresholdNetworkTester,
+    asymmetric_threshold_parameters,
+    far_family,
+    uniform,
+)
+from repro.congest import CongestUniformityTester
+from repro.core import CollisionGapTester, cp_constant
+from repro.core.bounds import threshold_rule_samples, zero_round_lower_bound
+from repro.localmodel import LocalUniformityTester
+from repro.simulator import Topology
+from repro.smp import BCGMapping, ConcatenatedCode, TesterBasedEqualityProtocol
+
+
+class TestZeroRoundPipelines:
+    def test_threshold_model_distinguishes(self):
+        n, k, eps = 20_000, 10_000, 1.0
+        tester = ThresholdNetworkTester.solve(n, k, eps)
+        u, f = uniform(n), far_family("two_bump", n, eps, rng=0)
+        acc_u = sum(tester.test(u, rng=i) for i in range(12))
+        acc_f = sum(tester.test(f, rng=100 + i) for i in range(12))
+        assert acc_u >= 9 and acc_f <= 3
+
+    def test_and_model_distinguishes_weakly(self):
+        n, k, eps, p = 50_000, 2048, 1.0, 0.45
+        tester = AndRuleNetworkTester.solve(n, k, eps, p)
+        u, f = uniform(n), far_family("paninski", n, eps, rng=1)
+        acc_u = sum(tester.test(u, rng=i) for i in range(40))
+        acc_f = sum(tester.test(f, rng=500 + i) for i in range(40))
+        assert acc_u > acc_f  # the gap exists
+        assert acc_u >= 40 * (1 - p - 0.2)
+
+    def test_asymmetric_network_end_to_end(self):
+        n, eps = 20_000, 0.9
+        costs = CostVector.of([1.0] * 8000 + [2.0] * 4000)
+        params = asymmetric_threshold_parameters(n, costs, eps)
+        f = far_family("heavy", n, eps, rng=2)
+        rejected = sum(not params.test(f, rng=i) for i in range(6))
+        assert rejected >= 3
+
+    def test_sandwich_between_bounds(self):
+        """Measured per-node samples sit between Thm 1.3's lower bound and
+        Thm 1.2's upper curve."""
+        n, k, eps = 50_000, 20_000, 0.9
+        tester = ThresholdNetworkTester.solve(n, k, eps)
+        lower = zero_round_lower_bound(n, k)
+        upper = threshold_rule_samples(n, k, eps)
+        assert lower <= tester.samples_per_node <= upper * 2
+
+
+class TestCongestPipeline:
+    def test_grid_network_full_protocol(self):
+        """Moderate-diameter topology (grid, D ~ 110): both verdict sides."""
+        n, k, eps = 500, 3000, 0.9
+        tester = CongestUniformityTester.solve(n, k, eps)
+        topo = Topology.grid(50, 60)
+        accepted_u, report_u = tester.run(topo, uniform(n), rng=0)
+        far = far_family("paninski", n, eps, rng=1)
+        accepted_f, report_f = tester.run(topo, far, rng=2)
+        budget = tester.params.predicted_rounds(topo.diameter())
+        assert report_u.rounds <= budget
+        assert report_f.rounds <= budget
+        # At least one of the two verdicts is correct w.p. >= 1 - 2/9.
+        assert accepted_u or not accepted_f
+
+
+class TestLocalPipeline:
+    def test_ring_network_full_protocol(self):
+        tester = LocalUniformityTester(n=20_000, eps=1.0, p=0.45)
+        ring = Topology.ring(4096)
+        plan = tester.plan(ring, 64, rng=0)
+        u_ok = sum(
+            tester.test_with_plan(plan, uniform(20_000), rng=i) for i in range(20)
+        )
+        far = far_family("paninski", 20_000, 1.0, rng=1)
+        f_rej = sum(
+            not tester.test_with_plan(plan, far, rng=100 + i) for i in range(20)
+        )
+        assert u_ok >= 20 * 0.55 - 4
+        assert f_rej >= 20 * 0.55 - 4
+
+
+class TestLowerBoundPipeline:
+    def test_tester_to_equality_protocol_chain(self):
+        """Theorem 7.1's chain run forward with the paper's own tester."""
+        code = ConcatenatedCode.for_message_bits(96)
+        mapping = BCGMapping(code=code)
+        tester = CollisionGapTester.from_delta(mapping.domain_size, 0.2)
+        proto = TesterBasedEqualityProtocol(mapping=mapping, tester=tester)
+
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 2, 96)
+        y = x.copy()
+        y[0] ^= 1
+        acc_eq = proto.estimate_acceptance(x, x, trials=1500, rng=4)
+        acc_neq = proto.estimate_acceptance(x, y, trials=1500, rng=5)
+        # (delta, alpha)-gap becomes (delta, tau*delta) EQ error profile.
+        assert acc_eq >= 1 - 0.2 - 0.03
+        assert acc_neq <= acc_eq - 0.005
+
+    def test_communication_against_lower_bound(self):
+        """The reduction's cost obeys SMP >= Omega(sqrt(f δ n)) / log n."""
+        from repro.core.bounds import smp_equality_lower_bound
+
+        code = ConcatenatedCode.for_message_bits(96)
+        mapping = BCGMapping(code=code)
+        delta = 0.2
+        tester = CollisionGapTester.from_delta(mapping.domain_size, delta)
+        proto = TesterBasedEqualityProtocol(mapping=mapping, tester=tester)
+        guarantee = tester.guarantee(mapping.far_distance)
+        lower = smp_equality_lower_bound(
+            mapping.domain_size, guarantee.delta, max(guarantee.alpha, 1.01)
+        )
+        assert proto.communication_bits >= lower

@@ -1,0 +1,86 @@
+"""Tests for catchment assignment (sample routing to MIS nodes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.localmodel import assign_catchments, luby_mis
+from repro.simulator import Topology
+
+
+class TestAssignment:
+    def test_every_node_assigned(self):
+        topo = Topology.ring(30)
+        r = 3
+        mis, _ = luby_mis(topo.power_graph(r), rng=0)
+        result = assign_catchments(topo, mis, r)
+        assert len(result.owner) == topo.k
+        assert all(mis[o] for o in result.owner)
+
+    def test_owner_is_closest_mis_node(self):
+        topo = Topology.line(20)
+        r = 4
+        mis, _ = luby_mis(topo.power_graph(r), rng=1)
+        result = assign_catchments(topo, mis, r)
+        members = [v for v in range(20) if mis[v]]
+        for v in range(20):
+            d_owner = abs(v - result.owner[v])
+            best = min(abs(v - m) for m in members)
+            assert d_owner == best
+
+    def test_ties_break_to_smaller_id(self):
+        # Line 0-1-2 with MIS {0, 2}: node 1 is equidistant.
+        topo = Topology.line(3)
+        result = assign_catchments(topo, [True, False, True], r=1)
+        assert result.owner[1] == 0
+
+    def test_catchments_partition_nodes(self):
+        topo = Topology.grid(6, 6)
+        r = 2
+        mis, _ = luby_mis(topo.power_graph(r), rng=2)
+        result = assign_catchments(topo, mis, r)
+        all_nodes = sorted(
+            v for nodes in result.samples_at.values() for v in nodes
+        )
+        assert all_nodes == list(range(topo.k))
+
+    def test_min_catchment_at_least_half_radius(self):
+        """Section 6: each MIS node owns its r/2-ball, so >= r/2 samples."""
+        topo = Topology.ring(64)
+        r = 8
+        mis, _ = luby_mis(topo.power_graph(r), rng=3)
+        result = assign_catchments(topo, mis, r)
+        min_catch = min(len(v) for v in result.samples_at.values())
+        assert min_catch >= r // 2
+
+    def test_mis_size_bounded(self):
+        """At most 2k/r MIS nodes on a connected graph."""
+        topo = Topology.ring(64)
+        r = 8
+        mis, _ = luby_mis(topo.power_graph(r), rng=4)
+        assert sum(mis) <= 2 * topo.k // r
+
+    def test_routing_rounds_at_most_r(self):
+        topo = Topology.grid(8, 8)
+        r = 3
+        mis, _ = luby_mis(topo.power_graph(r), rng=5)
+        result = assign_catchments(topo, mis, r)
+        assert result.routing_rounds <= r
+
+
+class TestValidation:
+    def test_non_maximal_mis_detected(self):
+        topo = Topology.line(20)
+        mis = [False] * 20
+        mis[0] = True  # nothing within r=2 of node 10
+        with pytest.raises(ParameterError):
+            assign_catchments(topo, mis, r=2)
+
+    def test_empty_mis_rejected(self):
+        with pytest.raises(ParameterError):
+            assign_catchments(Topology.line(5), [False] * 5, r=2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            assign_catchments(Topology.line(5), [True] * 4, r=2)

@@ -1,0 +1,73 @@
+"""Tests for the message-passing gather protocol (CLAIM + ROUTE)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.localmodel import assign_catchments, luby_mis
+from repro.localmodel.gather_protocol import run_gather_protocol
+from repro.simulator import Topology
+
+
+def _setup(topo, r, seed=0):
+    power = topo.power_graph(min(r, topo.k - 1))
+    mis, _ = luby_mis(power, rng=seed)
+    samples = np.random.default_rng(seed).integers(0, 1000, size=topo.k)
+    return mis, samples
+
+
+class TestEquivalenceWithStructuralGather:
+    @pytest.mark.parametrize(
+        "topo,r",
+        [
+            (Topology.line(30), 4),
+            (Topology.ring(24), 3),
+            (Topology.grid(5, 6), 2),
+            (Topology.gnp(40, 0.12, rng=9), 2),
+        ],
+        ids=["line", "ring", "grid", "gnp"],
+    )
+    def test_same_owner_assignment(self, topo, r):
+        """The protocol and the structural rule agree on every owner."""
+        mis, samples = _setup(topo, r)
+        structural = assign_catchments(topo, mis, r)
+        protocol = run_gather_protocol(topo, mis, samples, r, rng=1)
+        assert protocol.owner == structural.owner
+
+    def test_every_sample_delivered_exactly_once(self):
+        topo = Topology.grid(6, 6)
+        r = 2
+        mis, samples = _setup(topo, r, seed=1)
+        result = run_gather_protocol(topo, mis, samples, r, rng=2)
+        delivered = sorted(
+            origin
+            for pile in result.samples_at.values()
+            for origin, _ in pile
+        )
+        assert delivered == list(range(topo.k))
+        # Values are the original samples.
+        for pile in result.samples_at.values():
+            for origin, value in pile:
+                assert value == samples[origin]
+
+
+class TestRoundAccounting:
+    def test_rounds_linear_in_radius(self):
+        topo = Topology.ring(48)
+        rounds = []
+        for r in (2, 4, 8):
+            mis, samples = _setup(topo, r, seed=2)
+            result = run_gather_protocol(topo, mis, samples, r, rng=3)
+            rounds.append(result.rounds)
+        # CLAIM + ROUTE are both <= r (+ quiet transitions): ~2r + c.
+        for r, got in zip((2, 4, 8), rounds):
+            assert got <= 3 * r + 6
+
+    def test_non_maximal_mis_detected(self):
+        topo = Topology.line(20)
+        mis = [False] * 20
+        mis[0] = True
+        with pytest.raises(SimulationError, match="no MIS owner"):
+            run_gather_protocol(topo, mis, list(range(20)), 2, rng=4)

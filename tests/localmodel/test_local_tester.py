@@ -1,0 +1,89 @@
+"""Tests for the Section 6 LOCAL-model uniformity tester."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import far_family, uniform
+from repro.exceptions import InfeasibleParametersError, ParameterError
+from repro.localmodel import LocalUniformityTester
+from repro.simulator import Topology
+
+# A feasible ring configuration (see DESIGN.md E7): weak p, 1-D topology.
+N, EPS, P, R = 20_000, 1.0, 0.45, 64
+K = 4096
+
+
+@pytest.fixture(scope="module")
+def ring() -> Topology:
+    return Topology.ring(K)
+
+
+@pytest.fixture(scope="module")
+def tester() -> LocalUniformityTester:
+    return LocalUniformityTester(n=N, eps=EPS, p=P)
+
+
+@pytest.fixture(scope="module")
+def plan(tester, ring):
+    return tester.plan(ring, R, rng=0)
+
+
+class TestPlan:
+    def test_structure_bounds(self, plan):
+        assert plan.mis_size <= 2 * K // R
+        assert plan.min_catchment >= R // 2
+
+    def test_round_accounting(self, plan):
+        assert plan.rounds == plan.mis_rounds_on_power_graph * R + plan.routing_rounds
+        assert plan.routing_rounds <= R
+
+    def test_params_fit_catchments(self, plan):
+        assert plan.params.samples_per_node <= plan.min_catchment
+
+    def test_radius_validation(self, tester, ring):
+        with pytest.raises(ParameterError):
+            tester.plan(ring, 0)
+
+    def test_infeasible_radius_raises(self, tester, ring):
+        with pytest.raises(InfeasibleParametersError):
+            tester.plan(ring, 2, rng=1)  # catchments of ~1 sample
+
+
+class TestDecisions:
+    def test_domain_checked(self, tester, plan):
+        with pytest.raises(ParameterError):
+            tester.test_with_plan(plan, uniform(N + 1), rng=0)
+
+    def test_uniform_error_within_budget(self, tester, ring, plan):
+        err = sum(
+            not tester.test_with_plan(plan, uniform(N), rng=100 + i)
+            for i in range(60)
+        ) / 60
+        assert err <= P + 0.15
+
+    def test_far_error_within_budget(self, tester, ring, plan):
+        far = far_family("paninski", N, EPS, rng=1)
+        err = sum(
+            tester.test_with_plan(plan, far, rng=200 + i) for i in range(60)
+        ) / 60
+        assert err <= P + 0.15
+
+    def test_run_reports_consistent(self, tester, ring):
+        report = tester.run(ring, uniform(N), R, rng=3)
+        assert report.radius == R
+        assert report.rounds > 0
+
+
+class TestChooseRadius:
+    def test_finds_feasible_radius(self, tester, ring):
+        r = tester.choose_radius(ring, rng=4, start=16)
+        assert r >= 16
+        # The chosen radius must actually be feasible.
+        plan = tester.plan(ring, r, rng=5)
+        assert plan.params.samples_per_node <= plan.min_catchment
+
+    def test_infeasible_network_raises(self):
+        small = LocalUniformityTester(n=1_000_000, eps=0.5, p=1 / 3)
+        with pytest.raises(InfeasibleParametersError):
+            small.choose_radius(Topology.ring(8), rng=0)

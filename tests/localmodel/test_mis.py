@@ -1,0 +1,77 @@
+"""Tests for Luby's MIS program."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.localmodel import luby_mis, verify_mis
+from repro.simulator import Topology
+
+TOPOLOGIES = [
+    Topology.line(25),
+    Topology.ring(16),
+    Topology.star(12),
+    Topology.grid(5, 5),
+    Topology.complete(10),
+    Topology.gnp(40, 0.12, rng=5),
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.name)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_maximal_independent_set(self, topo, seed):
+        membership, _ = luby_mis(topo, rng=seed)
+        verify_mis(topo, membership)
+
+    def test_complete_graph_single_member(self):
+        membership, _ = luby_mis(Topology.complete(15), rng=3)
+        assert sum(membership) == 1
+
+    def test_star_center_or_all_leaves(self):
+        membership, _ = luby_mis(Topology.star(10), rng=4)
+        if membership[0]:
+            assert sum(membership) == 1
+        else:
+            assert all(membership[1:])
+
+    def test_single_node(self):
+        membership, _ = luby_mis(Topology.line(1), rng=0)
+        assert membership == [True]
+
+    def test_different_seeds_can_differ(self):
+        results = {tuple(luby_mis(Topology.ring(12), rng=s)[0]) for s in range(6)}
+        assert len(results) > 1
+
+
+class TestRoundComplexity:
+    def test_logarithmic_phases(self):
+        """O(log k) phases w.h.p.; each phase is 3 rounds."""
+        topo = Topology.gnp(200, 0.05, rng=6)
+        _, rounds = luby_mis(topo, rng=7)
+        import math
+
+        assert rounds <= 3 * (4 * math.log2(200) + 8)
+
+    def test_power_graph_mis_spreads_members(self):
+        """MIS on G^r: members are > r apart in G (the LOCAL invariant)."""
+        base = Topology.line(60)
+        r = 5
+        power = base.power_graph(r)
+        membership, _ = luby_mis(power, rng=8)
+        verify_mis(power, membership)
+        members = [v for v in range(60) if membership[v]]
+        gaps = [b - a for a, b in zip(members, members[1:])]
+        assert all(g > r for g in gaps)
+
+
+class TestVerifier:
+    def test_rejects_adjacent_members(self):
+        topo = Topology.line(3)
+        with pytest.raises(AssertionError):
+            verify_mis(topo, [True, True, False])
+
+    def test_rejects_non_maximal(self):
+        topo = Topology.line(5)
+        with pytest.raises(AssertionError):
+            verify_mis(topo, [True, False, False, False, True])

@@ -1,0 +1,90 @@
+"""Tests for the epoch monitor with hysteresis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import far_family, uniform
+from repro.exceptions import ParameterError
+from repro.monitoring import (
+    AttackWindowStream,
+    StationaryStream,
+    UniformityMonitor,
+)
+from repro.zeroround import ThresholdNetworkTester
+
+N, K, EPS = 20_000, 10_000, 1.0
+
+
+@pytest.fixture(scope="module")
+def tester() -> ThresholdNetworkTester:
+    return ThresholdNetworkTester.solve(N, K, EPS)
+
+
+class TestHealthyStream:
+    def test_no_incidents_on_uniform(self, tester):
+        monitor = UniformityMonitor(tester=tester, raise_after=2, clear_after=2)
+        report = monitor.run(StationaryStream(uniform(N)), epochs=30, rng=0)
+        assert report.incidents == ()
+        assert report.epochs == 30
+        assert report.epochs_in_incident() == 0
+
+
+class TestPersistentDeviation:
+    def test_incident_raised_quickly(self, tester):
+        far = far_family("paninski", N, EPS, rng=1)
+        monitor = UniformityMonitor(tester=tester, raise_after=2, clear_after=2)
+        report = monitor.run(StationaryStream(far), epochs=20, rng=2)
+        assert len(report.incidents) == 1
+        incident = report.incidents[0]
+        assert incident.raised_at <= 4  # two alarms back to back, fast
+        assert incident.cleared_at is None  # never clears: deviation persists
+        assert incident.duration(20) >= 15
+
+
+class TestAttackWindow:
+    def test_incident_brackets_the_attack(self, tester):
+        base = uniform(N)
+        attack = far_family("heavy", N, 1.0, rng=3)
+        stream = AttackWindowStream(
+            baseline=base, attack=attack, share=1.0, start=10, end=20
+        )
+        monitor = UniformityMonitor(tester=tester, raise_after=2, clear_after=2)
+        report = monitor.run(stream, epochs=35, rng=4)
+        assert len(report.incidents) == 1
+        incident = report.incidents[0]
+        # Raised within the window (+ hysteresis), cleared shortly after it.
+        assert 10 <= incident.raised_at <= 14
+        assert incident.cleared_at is not None
+        assert 20 <= incident.cleared_at <= 25
+
+    def test_epoch_records_track_state(self, tester):
+        base = uniform(N)
+        attack = far_family("heavy", N, 1.0, rng=5)
+        stream = AttackWindowStream(
+            baseline=base, attack=attack, share=1.0, start=5, end=12
+        )
+        monitor = UniformityMonitor(tester=tester, raise_after=1, clear_after=1)
+        report = monitor.run(stream, epochs=20, rng=6)
+        assert report.incident_open_at(8)
+        assert not report.incident_open_at(0)
+
+
+class TestHysteresis:
+    def test_larger_raise_after_delays_incident(self, tester):
+        far = far_family("paninski", N, EPS, rng=7)
+        fast = UniformityMonitor(tester=tester, raise_after=1).run(
+            StationaryStream(far), epochs=15, rng=8
+        )
+        slow = UniformityMonitor(tester=tester, raise_after=4).run(
+            StationaryStream(far), epochs=15, rng=8
+        )
+        assert fast.incidents[0].raised_at <= slow.incidents[0].raised_at
+
+    def test_validation(self, tester):
+        with pytest.raises(ParameterError):
+            UniformityMonitor(tester=tester, raise_after=0)
+        with pytest.raises(ParameterError):
+            UniformityMonitor(tester=tester).run(
+                StationaryStream(uniform(N)), epochs=0
+            )

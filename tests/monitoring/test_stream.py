@@ -1,0 +1,74 @@
+"""Tests for synthetic epoch streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import (
+    DiscreteDistribution,
+    far_family,
+    l1_distance,
+    l1_distance_to_uniform,
+    uniform,
+)
+from repro.exceptions import ParameterError
+from repro.monitoring import AttackWindowStream, DriftStream, StationaryStream
+
+
+class TestStationary:
+    def test_constant(self):
+        stream = StationaryStream(uniform(100))
+        assert stream.distribution_at(0) == stream.distribution_at(99)
+
+    def test_negative_epoch(self):
+        with pytest.raises(ParameterError):
+            StationaryStream(uniform(10)).distribution_at(-1)
+
+
+class TestDrift:
+    def test_endpoints(self):
+        import numpy as np
+
+        start, end = uniform(100), far_family("two_bump", 100, 0.8)
+        stream = DriftStream(start=start, end=end, duration=10)
+        # Epoch 0 goes through a mix (float round-off possible)...
+        assert np.allclose(stream.distribution_at(0).probs, start.probs)
+        # ... past the window the endpoint object is returned as-is.
+        assert stream.distribution_at(10) == end
+        assert stream.distribution_at(50) == end
+
+    def test_distance_grows_linearly(self):
+        start, end = uniform(100), far_family("two_bump", 100, 0.8)
+        stream = DriftStream(start=start, end=end, duration=10)
+        d5 = l1_distance_to_uniform(stream.distribution_at(5))
+        assert d5 == pytest.approx(0.4, abs=1e-9)
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            DriftStream(start=uniform(10), end=uniform(20), duration=5)
+
+
+class TestAttackWindow:
+    def test_window_semantics(self):
+        base = uniform(100)
+        attack = far_family("heavy", 100, 1.0)
+        stream = AttackWindowStream(
+            baseline=base, attack=attack, share=0.5, start=3, end=6
+        )
+        assert stream.distribution_at(2) == base
+        assert stream.distribution_at(6) == base
+        inside = stream.distribution_at(4)
+        assert l1_distance(inside, base) > 0
+
+    def test_share_scales_deviation(self):
+        base = uniform(100)
+        attack = far_family("heavy", 100, 1.0)
+        small = AttackWindowStream(base, attack, 0.2, 0, 1).distribution_at(0)
+        large = AttackWindowStream(base, attack, 0.8, 0, 1).distribution_at(0)
+        assert l1_distance_to_uniform(large) > l1_distance_to_uniform(small)
+
+    def test_window_validation(self):
+        with pytest.raises(ParameterError):
+            AttackWindowStream(uniform(10), uniform(10), 0.5, 5, 5)
+        with pytest.raises(ParameterError):
+            AttackWindowStream(uniform(10), uniform(10), 0.0, 0, 5)

@@ -1,0 +1,117 @@
+"""Property-based tests: gap amplification algebra + the identity filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CollisionGapTester, GapSpec, RepeatedAndTester, amplified_gap
+from repro.distributions import DiscreteDistribution, IdentityFilter, grain
+from repro.distributions.distances import l1_distance
+
+
+@st.composite
+def gap_specs(draw):
+    delta = draw(st.floats(1e-6, 0.4))
+    alpha = draw(st.floats(1.0001, min(4.0, 0.99 / delta)))
+    eps = draw(st.floats(0.05, 1.5))
+    return GapSpec(delta=delta, alpha=alpha, eps=eps)
+
+
+class TestAmplificationAlgebra:
+    @given(gap_specs(), st.integers(1, 10))
+    @settings(max_examples=150, deadline=None)
+    def test_amplified_spec_relations(self, spec, m):
+        try:
+            amp = amplified_gap(spec, m)
+        except Exception:
+            return  # alpha^m * delta^m > 1: legitimately unrepresentable
+        # delta shrinks, multiplicative gap grows, absolute signal shrinks.
+        assert amp.delta <= spec.delta
+        assert amp.alpha >= spec.alpha
+        assert amp.far_reject_bound <= spec.far_reject_bound + 1e-12
+
+    @given(gap_specs())
+    @settings(max_examples=100, deadline=None)
+    def test_m_equals_one_is_identity(self, spec):
+        assert amplified_gap(spec, 1) == spec
+
+
+@st.composite
+def batch_patterns(draw):
+    """Explicit per-repetition batches with known collision structure."""
+    m = draw(st.integers(1, 4))
+    s = draw(st.integers(2, 6))
+    batches = []
+    colliding_flags = []
+    for i in range(m):
+        collide = draw(st.booleans())
+        colliding_flags.append(collide)
+        base = list(range(i * 100, i * 100 + s))
+        if collide:
+            base[-1] = base[0]
+        batches.append(base)
+    return m, s, np.concatenate(batches), colliding_flags
+
+
+class TestRepeatedTesterSemantics:
+    @given(batch_patterns())
+    @settings(max_examples=150, deadline=None)
+    def test_rejects_iff_every_batch_collides(self, pattern):
+        m, s, flat, colliding = pattern
+        tester = RepeatedAndTester(base=CollisionGapTester(n=10_000, s=s), m=m)
+        expected_accept = not all(colliding)
+        assert tester.decide(flat) == expected_accept
+
+
+@st.composite
+def grained_target_and_mu(draw):
+    n = draw(st.integers(2, 12))
+    m = draw(st.integers(n, 4 * n))
+    weights = draw(
+        st.lists(st.floats(0.1, 10.0), min_size=n, max_size=n)
+    )
+    eta = grain(
+        DiscreteDistribution(np.asarray(weights) / sum(weights)), m
+    )
+    mu_weights = draw(
+        st.lists(st.floats(0.1, 10.0), min_size=n, max_size=n)
+    )
+    mu = DiscreteDistribution(np.asarray(mu_weights) / sum(mu_weights))
+    return eta, m, mu
+
+
+class TestIdentityFilterProperties:
+    @given(grained_target_and_mu())
+    @settings(max_examples=100, deadline=None)
+    def test_distance_preserved_exactly_on_full_support(self, case):
+        eta, m, mu = case
+        if eta.support_size() < eta.n:
+            return  # graining may zero out a tiny cell; covered elsewhere
+        filt = IdentityFilter.for_target(eta, m)
+        d_in, d_out = filt.distance_guarantee(mu)
+        assert d_out == pytest.approx(d_in, abs=1e-9)
+
+    @given(grained_target_and_mu())
+    @settings(max_examples=100, deadline=None)
+    def test_eta_maps_to_uniform(self, case):
+        eta, m, _ = case
+        if eta.support_size() < eta.n:
+            return
+        filt = IdentityFilter.for_target(eta, m)
+        image = filt.image_distribution(eta)
+        assert image.is_uniform()
+
+    @given(grained_target_and_mu())
+    @settings(max_examples=60, deadline=None)
+    def test_filter_is_stochastic_map(self, case):
+        """Image probabilities are a valid distribution for any input."""
+        eta, m, mu = case
+        if eta.support_size() < eta.n:
+            return
+        filt = IdentityFilter.for_target(eta, m)
+        image = filt.image_distribution(mu)
+        assert image.probs.min() >= 0
+        assert image.probs.sum() == pytest.approx(1.0)

@@ -1,0 +1,90 @@
+"""Property-based tests for the coding stack and the BCG mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import l1_distance_to_uniform
+from repro.smp import BCGMapping, ConcatenatedCode, GF, ReedSolomonCode
+
+
+@st.composite
+def rs_message_pairs(draw):
+    k_sym = 16
+    a = draw(st.lists(st.integers(0, 255), min_size=k_sym, max_size=k_sym))
+    b = draw(st.lists(st.integers(0, 255), min_size=k_sym, max_size=k_sym))
+    return np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
+
+
+RS = ReedSolomonCode(field=GF(8), n_sym=48, k_sym=16)
+CODE = ConcatenatedCode.for_message_bits(96)
+MAPPING = BCGMapping(code=CODE)
+
+
+class TestReedSolomonProperties:
+    @given(rs_message_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_distance_or_equal(self, pair):
+        a, b = pair
+        dist = int((RS.encode(a) != RS.encode(b)).sum())
+        if np.array_equal(a, b):
+            assert dist == 0
+        else:
+            assert dist >= RS.min_distance
+
+    @given(rs_message_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_linearity(self, pair):
+        a, b = pair
+        assert np.array_equal(RS.encode(a ^ b), RS.encode(a) ^ RS.encode(b))
+
+
+@st.composite
+def bit_pairs(draw):
+    bits = CODE.message_bits
+    a = draw(st.lists(st.integers(0, 1), min_size=bits, max_size=bits))
+    b = draw(st.lists(st.integers(0, 1), min_size=bits, max_size=bits))
+    return np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
+
+
+class TestConcatenatedProperties:
+    @given(bit_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_certified_distance(self, pair):
+        x, y = pair
+        if np.array_equal(x, y):
+            return
+        rel = float((CODE.encode(x) != CODE.encode(y)).mean())
+        assert rel >= CODE.relative_distance - 1e-12
+
+    @given(bit_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic(self, pair):
+        x, _ = pair
+        assert np.array_equal(CODE.encode(x), CODE.encode(x))
+
+
+class TestBCGProperties:
+    @given(bit_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_mixture_dichotomy(self, pair):
+        """Equal inputs -> exactly uniform; unequal -> certified-far."""
+        x, y = pair
+        mix = MAPPING.mixture_distribution(x, y)
+        if np.array_equal(x, y):
+            assert mix.is_uniform()
+        else:
+            assert l1_distance_to_uniform(mix) >= (
+                MAPPING.far_distance - 1e-12
+            )
+
+    @given(bit_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_mixture_distance_equals_hamming_fraction(self, pair):
+        x, y = pair
+        frac = float((CODE.encode(x) != CODE.encode(y)).mean())
+        mix = MAPPING.mixture_distribution(x, y)
+        assert l1_distance_to_uniform(mix) == pytest.approx(frac, abs=1e-9)

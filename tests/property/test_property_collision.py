@@ -1,0 +1,89 @@
+"""Property-based tests for the collision tester's analytic pieces."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binomial import binom_cdf, binom_sf
+from repro.core.collision import (
+    collision_free_probability_uniform,
+    effective_delta,
+    far_accept_upper_bound,
+    sample_size_for_delta,
+)
+
+
+class TestSampleSizeSolver:
+    @given(st.integers(10, 10**7), st.floats(1e-6, 0.99))
+    @settings(max_examples=200, deadline=None)
+    def test_floor_characterisation(self, n, delta):
+        s = sample_size_for_delta(n, delta)
+        assert s >= 2
+        # s is the floor root (or clamped to 2): s(s-1) <= 2 delta n
+        # unless the clamp applied.
+        if s > 2:
+            assert s * (s - 1) <= 2 * delta * n
+            assert (s + 1) * s > 2 * delta * n
+
+    @given(st.integers(10, 10**6), st.floats(1e-4, 0.5))
+    @settings(max_examples=100, deadline=None)
+    def test_effective_delta_below_request(self, n, delta):
+        s = sample_size_for_delta(n, delta)
+        if s > 2:
+            assert effective_delta(n, s) <= delta + 1e-12
+
+
+class TestBirthdayBounds:
+    @given(st.integers(2, 10**5), st.integers(2, 300))
+    @settings(max_examples=200, deadline=None)
+    def test_product_in_unit_interval(self, n, s):
+        p = collision_free_probability_uniform(n, s)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.integers(50, 10**5), st.integers(2, 100))
+    @settings(max_examples=200, deadline=None)
+    def test_markov_lower_bound(self, n, s):
+        """1 - binom(s,2)/n <= exact no-collision probability (uniform)."""
+        exact = collision_free_probability_uniform(n, s)
+        assert exact >= 1 - s * (s - 1) / (2 * n) - 1e-12
+
+    @given(st.integers(50, 10**5), st.integers(2, 100))
+    @settings(max_examples=200, deadline=None)
+    def test_wiener_upper_bound_dominates_uniform(self, n, s):
+        """Lemma 3.3 at chi = 1/n upper-bounds the uniform birthday product."""
+        exact = collision_free_probability_uniform(n, s)
+        bound = far_accept_upper_bound(1.0 / n, s)
+        assert exact <= bound + 1e-12
+
+    @given(st.floats(1e-6, 0.5), st.integers(2, 200))
+    @settings(max_examples=200, deadline=None)
+    def test_wiener_bound_monotone_in_chi(self, chi, s):
+        tighter = far_accept_upper_bound(min(1.0, chi * 2), s)
+        looser = far_accept_upper_bound(chi, s)
+        assert tighter <= looser + 1e-12
+
+
+class TestBinomialTails:
+    @given(st.integers(1, 500), st.floats(0.0, 1.0), st.integers(0, 500))
+    @settings(max_examples=200, deadline=None)
+    def test_complementarity(self, n, p, t):
+        assert binom_sf(t, n, p) + binom_cdf(t - 1, n, p) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    @given(st.integers(1, 300), st.floats(0.01, 0.99))
+    @settings(max_examples=100, deadline=None)
+    def test_sf_monotone_in_threshold(self, n, p):
+        values = [binom_sf(t, n, p) for t in range(0, n + 2)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    @given(st.integers(2, 200), st.floats(0.05, 0.45))
+    @settings(max_examples=100, deadline=None)
+    def test_sf_monotone_in_p(self, n, p):
+        t = n // 3
+        assert binom_sf(t, n, p) <= binom_sf(t, n, min(0.99, p + 0.1)) + 1e-12

@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the distribution substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    DiscreteDistribution,
+    collision_probability,
+    hellinger_distance,
+    kl_divergence,
+    l1_distance,
+    l1_distance_to_uniform,
+    total_variation,
+    uniform,
+)
+
+
+@st.composite
+def prob_vectors(draw, min_size=2, max_size=40):
+    """Random valid probability vectors."""
+    size = draw(st.integers(min_size, max_size))
+    weights = draw(
+        st.lists(
+            st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+            min_size=size,
+            max_size=size,
+        ).filter(lambda w: sum(w) > 1e-6)
+    )
+    arr = np.asarray(weights, dtype=np.float64)
+    return arr / arr.sum()
+
+
+@st.composite
+def dist_pairs(draw):
+    p = draw(prob_vectors())
+    q_weights = draw(
+        st.lists(
+            st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+            min_size=p.size,
+            max_size=p.size,
+        ).filter(lambda w: sum(w) > 1e-6)
+    )
+    q = np.asarray(q_weights, dtype=np.float64)
+    return DiscreteDistribution(p), DiscreteDistribution(q / q.sum())
+
+
+class TestMetricProperties:
+    @given(dist_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_l1_symmetry_and_range(self, pair):
+        p, q = pair
+        d = l1_distance(p, q)
+        assert d == pytest.approx(l1_distance(q, p))
+        assert 0.0 <= d <= 2.0 + 1e-12
+
+    @given(dist_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_identity_of_indiscernibles(self, pair):
+        p, _ = pair
+        assert l1_distance(p, p) == 0.0
+
+    @given(dist_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_tv_hellinger_inequalities(self, pair):
+        """h^2 <= TV <= sqrt(2) h (the classical sandwich)."""
+        p, q = pair
+        tv = total_variation(p, q)
+        h = hellinger_distance(p, q)
+        assert h * h <= tv + 1e-9
+        assert tv <= np.sqrt(2.0) * h + 1e-9
+
+    @given(dist_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_pinsker(self, pair):
+        """KL >= 2 TV^2 (Pinsker's inequality, nats)."""
+        p, q = pair
+        kl = kl_divergence(p, q)
+        tv = total_variation(p, q)
+        assert kl >= 2 * tv * tv - 1e-9
+
+
+class TestCollisionProperties:
+    @given(prob_vectors())
+    @settings(max_examples=100, deadline=None)
+    def test_uniform_minimises_collision(self, probs):
+        chi = collision_probability(probs)
+        assert chi >= 1.0 / probs.size - 1e-12
+
+    @given(prob_vectors())
+    @settings(max_examples=100, deadline=None)
+    def test_lemma_3_2(self, probs):
+        """chi >= (1 + eps^2)/n with eps the L1 distance to uniform.
+
+        This is the paper's Lemma 3.2 verified on arbitrary distributions.
+        """
+        n = probs.size
+        eps = l1_distance_to_uniform(probs)
+        chi = collision_probability(probs)
+        assert chi >= (1.0 + eps * eps) / n - 1e-12
+
+    @given(prob_vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_permutation_invariance(self, probs):
+        d = DiscreteDistribution(probs)
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(d.n)
+        p = d.permuted(perm)
+        assert collision_probability(p) == pytest.approx(
+            collision_probability(d)
+        )
+        assert l1_distance_to_uniform(p) == pytest.approx(
+            l1_distance_to_uniform(d)
+        )
+
+
+class TestMixtureProperties:
+    @given(dist_pairs(), st.floats(0.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_mixing_is_a_contraction_toward_components(self, pair, w):
+        p, q = pair
+        mixed = p.mix(q, w)
+        # Distance from the mixture to p is (1-w) * d(p, q) exactly for L1.
+        assert l1_distance(mixed, p) == pytest.approx(
+            (1 - w) * l1_distance(p, q), abs=1e-9
+        )
+
+    @given(prob_vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_conditioning_preserves_validity(self, probs):
+        d = DiscreteDistribution(probs)
+        support = d.support()
+        if support.size == 0:
+            return
+        c = d.conditioned_on(support.tolist())
+        assert c.probs.sum() == pytest.approx(1.0)

@@ -1,0 +1,73 @@
+"""Property-based tests for token packaging over random trees/graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest import run_token_packaging, verify_packaging
+from repro.simulator import Topology
+
+
+@st.composite
+def random_trees(draw):
+    """Random labelled trees built from a Prüfer-like parent sequence."""
+    k = draw(st.integers(2, 24))
+    edges = []
+    for v in range(1, k):
+        parent = draw(st.integers(0, v - 1))
+        edges.append((parent, v))
+    return Topology.from_edges(k, edges, name=f"rand-tree({k})")
+
+
+@st.composite
+def random_connected_graphs(draw):
+    """Random connected graphs: a tree skeleton plus extra edges."""
+    topo = draw(random_trees())
+    k = topo.k
+    extra = draw(
+        st.lists(
+            st.tuples(st.integers(0, k - 1), st.integers(0, k - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=12,
+        )
+    )
+    edges = topo.edges() + [tuple(sorted(e)) for e in extra]
+    return Topology.from_edges(k, sorted(set(edges)), name=f"rand-graph({k})")
+
+
+class TestDefinition2Properties:
+    @given(random_trees(), st.integers(1, 6), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_packaging_on_random_trees(self, topo, tau, seed):
+        tokens = np.random.default_rng(seed).integers(0, 100, size=topo.k)
+        outcomes, report = run_token_packaging(topo, tokens, tau, rng=seed)
+        verify_packaging(outcomes, tokens, tau)
+        assert report.halted
+
+    @given(random_connected_graphs(), st.integers(1, 5), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_packaging_on_random_graphs(self, topo, tau, seed):
+        tokens = np.random.default_rng(seed).integers(0, 100, size=topo.k)
+        outcomes, report = run_token_packaging(topo, tokens, tau, rng=seed)
+        verify_packaging(outcomes, tokens, tau)
+
+    @given(random_trees(), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_round_bound_on_random_trees(self, topo, tau):
+        tokens = list(range(topo.k))
+        _, report = run_token_packaging(topo, tokens, tau, rng=0)
+        assert report.rounds <= 4 * topo.diameter() + tau + 12
+
+    @given(random_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_package_count_maximal(self, topo):
+        """floor(k/tau) packages must be produced (only < tau tokens drop)."""
+        tau = 2
+        tokens = list(range(topo.k))
+        outcomes, _ = run_token_packaging(topo, tokens, tau, rng=1)
+        total = sum(len(o.packages) for o in outcomes)
+        assert total == topo.k // tau

@@ -1,0 +1,107 @@
+"""Property-based tests for the distributed protocols."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.localmodel import assign_catchments, luby_mis, verify_mis
+from repro.simulator import FloodMaxProgram, SynchronousEngine, Topology
+from repro.smp import EqualityProtocol
+
+
+@st.composite
+def connected_graphs(draw):
+    """Random connected graphs (tree skeleton plus extra edges)."""
+    k = draw(st.integers(2, 20))
+    edges = []
+    for v in range(1, k):
+        parent = draw(st.integers(0, v - 1))
+        edges.append((parent, v))
+    extra = draw(
+        st.lists(
+            st.tuples(st.integers(0, k - 1), st.integers(0, k - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=10,
+        )
+    )
+    edges += [tuple(sorted(e)) for e in extra]
+    return Topology.from_edges(k, sorted(set(edges)))
+
+
+class TestFloodProperties:
+    @given(connected_graphs(), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_always_elects_global_max(self, topo, seed):
+        engine = SynchronousEngine(topo, bandwidth_bits=64)
+        report = engine.run(lambda v: FloodMaxProgram(v, topo.k), rng=seed)
+        assert report.halted
+        assert all(out[0] == topo.k - 1 for out in report.outputs)
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_distances_exact(self, topo):
+        engine = SynchronousEngine(topo, bandwidth_bits=64)
+        report = engine.run(lambda v: FloodMaxProgram(v, topo.k), rng=0)
+        truth = topo.bfs_distances(topo.k - 1)
+        assert all(
+            report.outputs[v][1] == truth[v] for v in range(topo.k)
+        )
+
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_rounds_within_diameter_plus_constant(self, topo):
+        engine = SynchronousEngine(topo, bandwidth_bits=64)
+        report = engine.run(lambda v: FloodMaxProgram(v, topo.k), rng=1)
+        assert report.rounds <= topo.diameter() + 4
+
+
+class TestMISProperties:
+    @given(connected_graphs(), st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_luby_always_valid(self, topo, seed):
+        membership, _ = luby_mis(topo, rng=seed)
+        verify_mis(topo, membership)
+
+    @given(connected_graphs(), st.integers(1, 4), st.integers(0, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_mis_gather_pipeline(self, topo, r, seed):
+        """MIS on G^r always yields a full catchment assignment within r."""
+        radius = min(r, topo.k - 1)
+        power = topo.power_graph(radius) if topo.k > 1 else topo
+        membership, _ = luby_mis(power, rng=seed)
+        result = assign_catchments(topo, membership, radius)
+        # Partition and ownership sanity.
+        owned = sorted(v for pile in result.samples_at.values() for v in pile)
+        assert owned == list(range(topo.k))
+        assert result.routing_rounds <= radius
+
+
+class TestEqualityProtocolProperties:
+    PROTO = EqualityProtocol.build(n_bits=96, delta=0.05, tau=1.5)
+
+    @given(st.lists(st.integers(0, 1), min_size=96, max_size=96), st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_perfect_completeness(self, bits, seed):
+        x = np.asarray(bits)
+        accepted, cost = self.PROTO.run(x, x.copy(), rng=seed)
+        assert accepted
+        assert cost == self.PROTO.communication_bits
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=96, max_size=96),
+        st.integers(0, 95),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_nonzero_rejection_on_any_flip(self, bits, flip):
+        """Any single-bit difference is rejected with the certified rate."""
+        x = np.asarray(bits)
+        y = x.copy()
+        y[flip] ^= 1
+        rate = self.PROTO.estimate_rejection(x, y, trials=3000, rng=7)
+        bound = self.PROTO.rejection_probability_bound
+        sigma = (bound / 3000) ** 0.5
+        assert rate >= bound - 5 * sigma

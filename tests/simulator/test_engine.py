@@ -1,0 +1,185 @@
+"""Tests for the synchronous engine: delivery, CONGEST limits, scheduling."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.exceptions import BandwidthExceededError, SimulationError
+from repro.simulator import Message, SynchronousEngine, Topology
+from repro.simulator.node import Context, NodeProgram
+
+
+class EchoOnce(NodeProgram):
+    """Sends one message to each neighbour, halts after hearing anything."""
+
+    def __init__(self, node_id: int, bits: int = 8) -> None:
+        self.node_id = node_id
+        self.bits = bits
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast(self.node_id, bits=self.bits, tag="echo")
+
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        if inbox:
+            ctx.halt([m.payload for m in inbox])
+
+
+class Oversized(NodeProgram):
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast("big", bits=1000, tag="big")
+
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        ctx.halt()
+
+
+class DoubleSend(NodeProgram):
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def on_start(self, ctx: Context) -> None:
+        if ctx.neighbors:
+            ctx.send(ctx.neighbors[0], 1, bits=1)
+            ctx.send(ctx.neighbors[0], 2, bits=1)
+
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        ctx.halt()
+
+
+class Silent(NodeProgram):
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        pass  # never halts, never sends -> deadlock
+
+
+class TimerNode(NodeProgram):
+    """Halts at a self-scheduled wakeup without any messages."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.request_wakeup(2)
+
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        if ctx.round >= 2:
+            ctx.halt(ctx.round)
+        else:
+            ctx.request_wakeup(2)
+
+
+class TestDelivery:
+    def test_messages_arrive_next_round(self):
+        topo = Topology.line(3)
+        report = SynchronousEngine(topo).run(lambda v: EchoOnce(v), rng=0)
+        assert report.halted
+        assert report.outputs[0] == [1]
+        assert sorted(report.outputs[1]) == [0, 2]
+
+    def test_message_and_bit_accounting(self):
+        topo = Topology.line(3)
+        report = SynchronousEngine(topo).run(lambda v: EchoOnce(v, bits=5), rng=0)
+        assert report.messages == 4  # 2 edges x 2 directions
+        assert report.total_bits == 20
+        assert report.max_edge_bits_per_round == 5
+
+
+class TestCongestEnforcement:
+    def test_oversized_message_rejected(self):
+        topo = Topology.line(2)
+        engine = SynchronousEngine(topo, bandwidth_bits=16)
+        with pytest.raises(BandwidthExceededError):
+            engine.run(lambda v: Oversized(v), rng=0)
+
+    def test_oversized_allowed_in_local(self):
+        topo = Topology.line(2)
+        report = SynchronousEngine(topo, bandwidth_bits=None).run(
+            lambda v: Oversized(v), rng=0
+        )
+        assert report.halted
+
+    def test_double_send_per_edge_rejected(self):
+        topo = Topology.line(2)
+        engine = SynchronousEngine(topo, bandwidth_bits=16)
+        with pytest.raises(BandwidthExceededError):
+            engine.run(lambda v: DoubleSend(v), rng=0)
+
+    def test_double_send_allowed_in_local(self):
+        topo = Topology.line(2)
+        report = SynchronousEngine(topo, bandwidth_bits=None).run(
+            lambda v: DoubleSend(v), rng=0
+        )
+        assert report.halted
+
+
+class TestScheduling:
+    def test_deadlock_detected(self):
+        topo = Topology.line(2)
+        with pytest.raises(SimulationError, match="deadlock"):
+            SynchronousEngine(topo).run(lambda v: Silent(v), rng=0)
+
+    def test_wakeups_fire_without_messages(self):
+        topo = Topology.line(2)
+        report = SynchronousEngine(topo).run(lambda v: TimerNode(v), rng=0)
+        assert report.halted
+        assert report.outputs == [2, 2]
+
+    def test_max_rounds_cutoff(self):
+        topo = Topology.line(2)
+        engine = SynchronousEngine(topo, max_rounds=1)
+
+        class Chatter(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+            def on_start(self, ctx):
+                ctx.broadcast(0, bits=1)
+
+            def on_round(self, ctx, inbox):
+                ctx.broadcast(0, bits=1)
+
+        report = engine.run(lambda v: Chatter(v), rng=0)
+        assert not report.halted
+        assert report.rounds == 1
+
+
+class TestContextGuards:
+    def test_send_to_non_neighbor(self):
+        topo = Topology.line(3)
+
+        class Bad(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.send(2, "x", bits=1)  # 0 and 2 are not adjacent
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(SimulationError, match="non-neighbour"):
+            SynchronousEngine(topo).run(lambda v: Bad(v), rng=0)
+
+    def test_send_after_halt(self):
+        topo = Topology.line(2)
+
+        class HaltThenSend(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+            def on_start(self, ctx):
+                ctx.halt()
+                ctx.send(ctx.neighbors[0], "x", bits=1)
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        with pytest.raises(SimulationError, match="halting"):
+            SynchronousEngine(topo).run(lambda v: HaltThenSend(v), rng=0)

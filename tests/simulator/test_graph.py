@@ -1,0 +1,129 @@
+"""Tests for topologies and structural queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.simulator import Topology
+
+
+class TestConstructors:
+    def test_line(self):
+        t = Topology.line(5)
+        assert t.k == 5 and t.edge_count() == 4
+        assert t.diameter() == 4
+
+    def test_ring(self):
+        t = Topology.ring(8)
+        assert t.edge_count() == 8
+        assert t.diameter() == 4
+
+    def test_star(self):
+        t = Topology.star(10)
+        assert t.diameter() == 2
+        assert t.degree(0) == 9
+
+    def test_complete(self):
+        t = Topology.complete(6)
+        assert t.edge_count() == 15
+        assert t.diameter() == 1
+
+    def test_grid(self):
+        t = Topology.grid(3, 4)
+        assert t.k == 12
+        assert t.diameter() == 5
+
+    def test_balanced_tree(self):
+        t = Topology.balanced_tree(2, 3)
+        assert t.k == 15
+        assert t.diameter() == 6
+
+    def test_random_regular_connected(self):
+        t = Topology.random_regular(40, 3, rng=0)
+        assert t.k == 40
+        assert all(t.degree(v) == 3 for v in range(40))
+
+    def test_gnp_connected(self):
+        t = Topology.gnp(50, 0.15, rng=1)
+        assert t.k == 50
+        assert (t.bfs_distances(0) >= 0).all()
+
+    def test_single_node(self):
+        t = Topology.line(1)
+        assert t.k == 1 and t.diameter() == 0
+
+
+class TestValidation:
+    def test_disconnected_rejected(self):
+        with pytest.raises(ParameterError):
+            Topology.from_edges(4, [(0, 1), (2, 3)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ParameterError):
+            Topology([[0]])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            Topology.from_edges(2, [(0, 5)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            Topology([])
+
+
+class TestQueries:
+    def test_bfs_distances_line(self):
+        t = Topology.line(6)
+        assert list(t.bfs_distances(0)) == [0, 1, 2, 3, 4, 5]
+
+    def test_bfs_tree_parents(self):
+        t = Topology.line(4)
+        parents = t.bfs_tree(3)
+        assert parents[3] is None
+        assert parents[0] == 1 and parents[1] == 2 and parents[2] == 3
+
+    def test_eccentricity(self):
+        t = Topology.line(7)
+        assert t.eccentricity(3) == 3
+        assert t.eccentricity(0) == 6
+
+    def test_diameter_upper_bound_valid(self):
+        for t in [Topology.line(20), Topology.grid(4, 5), Topology.star(9)]:
+            assert t.diameter() <= t.diameter_upper_bound() <= 2 * t.diameter()
+
+    def test_neighbors_sorted_tuples(self):
+        t = Topology.from_edges(3, [(2, 0), (0, 1)])
+        assert t.neighbors(0) == (1, 2)
+
+    def test_edges_listing(self):
+        t = Topology.ring(4)
+        assert set(t.edges()) == {(0, 1), (1, 2), (2, 3), (0, 3)}
+
+
+class TestPowerGraph:
+    def test_line_squared(self):
+        t = Topology.line(6).power_graph(2)
+        assert t.neighbors(0) == (1, 2)
+        assert t.neighbors(3) == (1, 2, 4, 5)
+
+    def test_power_ge_diameter_is_complete(self):
+        base = Topology.ring(7)
+        t = base.power_graph(base.diameter())
+        assert all(t.degree(v) == 6 for v in range(7))
+
+    def test_ball(self):
+        t = Topology.line(10)
+        assert t.ball(5, 2) == [3, 4, 5, 6, 7]
+
+    def test_ball_limited_bfs_matches_full(self):
+        t = Topology.gnp(40, 0.1, rng=2)
+        full = t.bfs_distances(7)
+        ball = set(t.ball(7, 3))
+        expected = {int(v) for v in np.flatnonzero((full >= 0) & (full <= 3))}
+        assert ball == expected
+
+    def test_power_validation(self):
+        with pytest.raises(ParameterError):
+            Topology.line(4).power_graph(0)

@@ -1,0 +1,45 @@
+"""Tests for message bit accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.simulator import Message, bits_for_domain, bits_for_int
+
+
+class TestBitSizes:
+    def test_domain_bits(self):
+        assert bits_for_domain(2) == 1
+        assert bits_for_domain(1024) == 10
+        assert bits_for_domain(1025) == 11
+
+    def test_domain_minimum_one(self):
+        assert bits_for_domain(1) == 1
+
+    def test_int_bits(self):
+        assert bits_for_int(0) == 1
+        assert bits_for_int(1) == 1
+        assert bits_for_int(255) == 8
+        assert bits_for_int(256) == 9
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            bits_for_domain(0)
+        with pytest.raises(ParameterError):
+            bits_for_int(-1)
+
+
+class TestMessage:
+    def test_fields(self):
+        m = Message(src=1, dst=2, payload="x", bits=5, tag="t")
+        assert (m.src, m.dst, m.payload, m.bits, m.tag) == (1, 2, "x", 5, "t")
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ParameterError):
+            Message(src=0, dst=1, payload=None, bits=-1)
+
+    def test_frozen(self):
+        m = Message(src=0, dst=1, payload=None, bits=1)
+        with pytest.raises(AttributeError):
+            m.bits = 7

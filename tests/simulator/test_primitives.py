@@ -1,0 +1,137 @@
+"""Tests for the flooding / convergecast / broadcast primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator import (
+    BroadcastProgram,
+    ConvergecastSumProgram,
+    FloodMaxProgram,
+    SynchronousEngine,
+    Topology,
+)
+from repro.simulator.primitives import children_from_parents
+
+
+def run_flood(topo, rng=0, bandwidth=64):
+    engine = SynchronousEngine(topo, bandwidth_bits=bandwidth)
+    return engine.run(lambda v: FloodMaxProgram(v, topo.k), rng=rng)
+
+
+class TestFloodMax:
+    @pytest.mark.parametrize(
+        "topo",
+        [
+            Topology.line(12),
+            Topology.ring(9),
+            Topology.star(8),
+            Topology.grid(4, 4),
+            Topology.balanced_tree(3, 2),
+        ],
+    )
+    def test_elects_max_id(self, topo):
+        report = run_flood(topo)
+        assert report.halted
+        assert all(out[0] == topo.k - 1 for out in report.outputs)
+
+    def test_distances_are_bfs_distances(self):
+        topo = Topology.grid(5, 5)
+        report = run_flood(topo)
+        true_dist = topo.bfs_distances(topo.k - 1)
+        assert all(report.outputs[v][1] == true_dist[v] for v in range(topo.k))
+
+    def test_parents_form_tree(self):
+        topo = Topology.gnp(30, 0.15, rng=2)
+        report = run_flood(topo)
+        parents = [out[2] for out in report.outputs]
+        root = topo.k - 1
+        assert parents[root] is None
+        # Every non-root path to the root terminates (acyclic, rooted).
+        for v in range(topo.k):
+            seen = set()
+            node = v
+            while parents[node] is not None:
+                assert node not in seen
+                seen.add(node)
+                node = parents[node]
+            assert node == root
+
+    def test_rounds_linear_in_diameter(self):
+        topo = Topology.line(40)
+        report = run_flood(topo)
+        assert report.rounds <= topo.diameter() + 4
+
+    def test_messages_fit_congest(self):
+        topo = Topology.grid(4, 4)
+        report = run_flood(topo, bandwidth=2 * 5)  # 2 * ceil(log2 16) bits
+        assert report.max_edge_bits_per_round <= 10
+
+    def test_single_node(self):
+        topo = Topology.line(1)
+        report = run_flood(topo)
+        assert report.outputs[0] == (0, 0, None)
+
+
+class TestConvergecast:
+    def _tree(self, topo, root):
+        parents_map = topo.bfs_tree(root)
+        parents = [parents_map[v] for v in range(topo.k)]
+        return parents, children_from_parents(parents)
+
+    @pytest.mark.parametrize(
+        "topo,root",
+        [
+            (Topology.line(10), 0),
+            (Topology.star(12), 0),
+            (Topology.grid(4, 5), 7),
+        ],
+    )
+    def test_sum_reaches_root(self, topo, root):
+        parents, children = self._tree(topo, root)
+        values = list(range(topo.k))
+        engine = SynchronousEngine(topo, bandwidth_bits=64)
+        report = engine.run(
+            lambda v: ConvergecastSumProgram(
+                v, values[v], parents[v], children[v], max_total=sum(values)
+            ),
+            rng=0,
+        )
+        assert report.halted
+        assert report.outputs[root] == sum(values)
+
+    def test_intermediate_nodes_hold_subtree_sums(self):
+        topo = Topology.line(5)
+        parents, children = self._tree(topo, 0)
+        engine = SynchronousEngine(topo, bandwidth_bits=64)
+        report = engine.run(
+            lambda v: ConvergecastSumProgram(v, 1, parents[v], children[v], 5),
+            rng=0,
+        )
+        # Node v on the line (rooted at 0) has subtree {v, ..., 4}.
+        assert report.outputs == [5, 4, 3, 2, 1]
+
+    def test_rounds_bounded_by_height(self):
+        topo = Topology.line(20)
+        parents, children = self._tree(topo, 0)
+        engine = SynchronousEngine(topo, bandwidth_bits=64)
+        report = engine.run(
+            lambda v: ConvergecastSumProgram(v, 1, parents[v], children[v], 20),
+            rng=0,
+        )
+        assert report.rounds <= 20 + 2
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("topo", [Topology.line(9), Topology.grid(3, 4)])
+    def test_everyone_receives(self, topo):
+        engine = SynchronousEngine(topo, bandwidth_bits=64)
+        report = engine.run(lambda v: BroadcastProgram(v, 0, "hello", 16), rng=0)
+        assert report.halted
+        assert all(out == "hello" for out in report.outputs)
+
+    def test_rounds_equal_eccentricity(self):
+        topo = Topology.line(15)
+        engine = SynchronousEngine(topo, bandwidth_bits=64)
+        report = engine.run(lambda v: BroadcastProgram(v, 0, 1, 4), rng=0)
+        assert report.rounds <= topo.eccentricity(0) + 2

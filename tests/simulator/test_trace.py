@@ -1,0 +1,84 @@
+"""Tests for engine trace recording (per-round activity profiles)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator import (
+    FloodMaxProgram,
+    RoundStats,
+    SynchronousEngine,
+    Topology,
+)
+
+
+class TestTraceRecording:
+    def test_disabled_by_default(self):
+        topo = Topology.line(6)
+        report = SynchronousEngine(topo).run(
+            lambda v: FloodMaxProgram(v, topo.k), rng=0
+        )
+        assert report.trace == []
+
+    def test_one_entry_per_round(self):
+        topo = Topology.line(10)
+        report = SynchronousEngine(topo, record_trace=True).run(
+            lambda v: FloodMaxProgram(v, topo.k), rng=0
+        )
+        assert len(report.trace) == report.rounds
+        assert [t.round for t in report.trace] == list(range(1, report.rounds + 1))
+
+    def test_totals_consistent_with_report(self):
+        topo = Topology.grid(4, 4)
+        report = SynchronousEngine(topo, record_trace=True).run(
+            lambda v: FloodMaxProgram(v, topo.k), rng=0
+        )
+        assert sum(t.messages for t in report.trace) == report.messages
+        assert sum(t.bits for t in report.trace) == report.total_bits
+
+    def test_quiet_round_marked(self):
+        """FloodMax terminates via a quiet round: it must appear in the trace."""
+        topo = Topology.line(8)
+        report = SynchronousEngine(topo, record_trace=True).run(
+            lambda v: FloodMaxProgram(v, topo.k), rng=0
+        )
+        assert any(t.quiet for t in report.trace)
+        assert all(t.messages == 0 for t in report.trace if t.quiet)
+
+    def test_flood_wavefront_shrinks(self):
+        """On a line flooded from the end, activity decays monotonically-ish:
+        the final round has far fewer messages than the first."""
+        topo = Topology.line(30)
+        report = SynchronousEngine(topo, record_trace=True).run(
+            lambda v: FloodMaxProgram(v, topo.k), rng=0
+        )
+        busy = [t.messages for t in report.trace if t.messages > 0]
+        assert busy[0] > busy[-1]
+
+
+class TestTraceOnCongestTester:
+    def test_phases_visible_in_trace(self):
+        """The token-packaging phase structure shows up as message bursts
+        separated by quiet rounds."""
+        from repro.congest.token_packaging import (
+            TokenPackagingProgram,
+            _run_with_deadlock_margin,
+        )
+
+        topo = Topology.line(16)
+        tau = 4
+        engine = SynchronousEngine(
+            topo, bandwidth_bits=32, max_rounds=10_000, record_trace=True
+        )
+        report = _run_with_deadlock_margin(
+            engine,
+            lambda v: TokenPackagingProgram(
+                node_id=v, k=topo.k, tau=tau, token=v, token_bits=8
+            ),
+            rng=0,
+            margin=tau + 6,
+        )
+        assert report.halted
+        quiet_rounds = [t.round for t in report.trace if t.quiet]
+        # At least two phase boundaries: flood->child and count->tokens.
+        assert len(quiet_rounds) >= 2

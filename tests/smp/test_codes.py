@@ -1,0 +1,114 @@
+"""Tests for Reed-Solomon, inner codes, and the concatenation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CodingError
+from repro.smp import ConcatenatedCode, GF, InnerCode, ReedSolomonCode, repetition_inner_code
+
+
+class TestReedSolomon:
+    @pytest.fixture(scope="class")
+    def rs(self) -> ReedSolomonCode:
+        return ReedSolomonCode(field=GF(8), n_sym=40, k_sym=20)
+
+    def test_mds_distance(self, rs):
+        assert rs.min_distance == 21
+        assert rs.relative_distance == pytest.approx(21 / 40)
+
+    def test_linear(self, rs):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, 20)
+        b = rng.integers(0, 256, 20)
+        assert np.array_equal(rs.encode(a ^ b), rs.encode(a) ^ rs.encode(b))
+
+    def test_distance_on_random_pairs(self, rs):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            a = rng.integers(0, 256, 20)
+            b = a.copy()
+            b[int(rng.integers(20))] ^= int(rng.integers(1, 256))
+            assert (rs.encode(a) != rs.encode(b)).sum() >= rs.min_distance
+
+    def test_systematic_zero(self, rs):
+        assert np.all(rs.encode(np.zeros(20, dtype=np.int64)) == 0)
+
+    def test_shape_validation(self, rs):
+        with pytest.raises(CodingError):
+            rs.encode(np.zeros(19, dtype=np.int64))
+
+    def test_n_bounded_by_field(self):
+        with pytest.raises(CodingError):
+            ReedSolomonCode(field=GF(4), n_sym=17, k_sym=2)
+
+
+class TestInnerCode:
+    def test_search_finds_verified_code(self):
+        code = InnerCode.search(4, 8, 3, rng=0)
+        assert code.min_distance >= 3
+        assert InnerCode.exact_min_distance(
+            np.asarray(code.generator)
+        ) == code.min_distance
+
+    def test_encode_matches_generator(self):
+        code = repetition_inner_code(3, 2)
+        assert list(code.encode(np.array([1, 0, 1]))) == [1, 1, 0, 0, 1, 1]
+
+    def test_encode_symbols_consistent(self):
+        code = InnerCode.search(4, 8, 3, rng=1)
+        symbols = np.arange(16)
+        table = code.encode_symbols(symbols)
+        for s in range(16):
+            bits = np.array([(s >> (3 - i)) & 1 for i in range(4)])
+            assert np.array_equal(table[s], code.encode(bits))
+
+    def test_repetition_distance(self):
+        assert repetition_inner_code(5, 3).min_distance == 3
+
+    def test_search_infeasible_target(self):
+        with pytest.raises(CodingError):
+            InnerCode.search(4, 5, 4, rng=2, attempts=50)
+
+
+class TestConcatenatedCode:
+    @pytest.fixture(scope="class")
+    def code(self) -> ConcatenatedCode:
+        return ConcatenatedCode.for_message_bits(128)
+
+    def test_shape(self, code):
+        assert code.message_bits >= 128
+        assert code.codeword_bits == code.outer.n_sym * code.inner.n_bits
+        assert 0.1 <= code.rate <= 0.6
+
+    def test_certified_distance_positive(self, code):
+        assert code.relative_distance > 0.1
+
+    def test_distance_bound_holds_on_random_pairs(self, code):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            x = rng.integers(0, 2, 128)
+            y = x.copy()
+            y[int(rng.integers(128))] ^= 1
+            rel = (code.encode(x) != code.encode(y)).mean()
+            assert rel >= code.relative_distance - 1e-12
+
+    def test_padding_short_messages(self, code):
+        short = np.array([1, 0, 1])
+        word = code.encode(short)
+        assert word.size == code.codeword_bits
+
+    def test_binary_input_enforced(self, code):
+        with pytest.raises(CodingError):
+            code.encode(np.array([0, 2, 1]))
+
+    def test_inner_outer_compatibility_checked(self):
+        outer = ReedSolomonCode(field=GF(8), n_sym=32, k_sym=16)
+        with pytest.raises(CodingError):
+            ConcatenatedCode(outer=outer, inner=repetition_inner_code(4, 2))
+
+    def test_scales_to_larger_messages(self):
+        big = ConcatenatedCode.for_message_bits(1024)
+        assert big.message_bits >= 1024
+        assert big.relative_distance > 0.05

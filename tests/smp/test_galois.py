@@ -1,0 +1,104 @@
+"""Tests for GF(2^q) arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CodingError
+from repro.smp import GF
+
+
+@pytest.fixture(scope="module")
+def gf8() -> GF:
+    return GF(8)
+
+
+@pytest.fixture(scope="module")
+def gf4() -> GF:
+    return GF(4)
+
+
+class TestFieldAxioms:
+    def test_addition_is_xor(self, gf8):
+        assert gf8.add(0b1010, 0b0110) == 0b1100
+
+    def test_multiplicative_identity(self, gf8):
+        for a in (1, 7, 255):
+            assert gf8.mul(a, 1) == a
+
+    def test_zero_annihilates(self, gf8):
+        assert gf8.mul(0, 123) == 0
+
+    def test_commutativity(self, gf4):
+        for a in range(16):
+            for b in range(16):
+                assert gf4.mul(a, b) == gf4.mul(b, a)
+
+    def test_associativity_sampled(self, gf8):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            a, b, c = (int(x) for x in rng.integers(0, 256, 3))
+            assert gf8.mul(gf8.mul(a, b), c) == gf8.mul(a, gf8.mul(b, c))
+
+    def test_distributivity_sampled(self, gf8):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            a, b, c = (int(x) for x in rng.integers(0, 256, 3))
+            assert gf8.mul(a, b ^ c) == gf8.mul(a, b) ^ gf8.mul(a, c)
+
+    def test_inverses(self, gf4):
+        for a in range(1, 16):
+            assert gf4.mul(a, gf4.inv(a)) == 1
+
+    def test_zero_has_no_inverse(self, gf8):
+        with pytest.raises(CodingError):
+            gf8.inv(0)
+
+
+class TestPow:
+    def test_pow_matches_repeated_mul(self, gf8):
+        a = 9
+        acc = 1
+        for e in range(10):
+            assert gf8.pow(a, e) == acc
+            acc = gf8.mul(acc, a)
+
+    def test_fermat(self, gf4):
+        # a^(2^q - 1) = 1 for nonzero a.
+        for a in range(1, 16):
+            assert gf4.pow(a, 15) == 1
+
+    def test_negative_exponent(self, gf8):
+        assert gf8.pow(7, -1) == gf8.inv(7)
+
+
+class TestVectorised:
+    def test_mul_vec_matches_scalar(self, gf8):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 256, 50)
+        b = rng.integers(0, 256, 50)
+        vec = gf8.mul_vec(a, b)
+        scalar = [gf8.mul(int(x), int(y)) for x, y in zip(a, b)]
+        assert list(vec) == scalar
+
+    def test_poly_eval_horner(self, gf8):
+        # p(x) = 3 + 5x + x^2 at x = 2 computed by hand via field ops.
+        coeffs = np.array([3, 5, 1])
+        x = 2
+        expected = 3 ^ gf8.mul(5, x) ^ gf8.mul(x, x)
+        assert gf8.poly_eval(coeffs, np.array([x]))[0] == expected
+
+    def test_element_range_checked(self, gf4):
+        with pytest.raises(CodingError):
+            gf4.mul(16, 1)
+
+
+class TestConstruction:
+    def test_unsupported_q(self):
+        with pytest.raises(CodingError):
+            GF(11)
+
+    def test_supported_sizes(self):
+        for q in (2, 3, 4, 8):
+            assert GF(q).order == 1 << q

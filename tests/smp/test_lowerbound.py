@@ -1,0 +1,89 @@
+"""Tests for the quantitative lower-bound machinery."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    f_tau,
+    gap_tester_lower_bound,
+    gap_tester_samples,
+    smp_equality_lower_bound,
+    smp_equality_upper_bound,
+    zero_round_lower_bound,
+)
+from repro.exceptions import ParameterError
+from repro.smp import anonymous_tester_requirements, verify_kl_separation
+
+
+class TestLemma21:
+    @pytest.mark.parametrize("delta", [0.01, 0.05, 0.2])
+    @pytest.mark.parametrize("tau", [1.1, 2.0, 4.0])
+    def test_kl_separation_holds(self, delta, tau):
+        if tau >= 1.0 / delta:
+            pytest.skip("outside lemma preconditions")
+        exact, bound = verify_kl_separation(delta, tau)
+        assert exact >= bound - 1e-15
+
+    def test_grid_sweep(self):
+        """Lemma 2.1 over a dense parameter grid."""
+        for delta in np.linspace(0.005, 0.24, 25):
+            for tau in np.linspace(1.01, min(4.0, 0.99 / delta), 25):
+                exact, bound = verify_kl_separation(float(delta), float(tau))
+                assert exact >= bound - 1e-15
+
+    def test_preconditions_enforced(self):
+        with pytest.raises(ParameterError):
+            verify_kl_separation(0.3, 2.0)
+        with pytest.raises(ParameterError):
+            verify_kl_separation(0.1, 11.0)
+
+
+class TestTheorem13Requirements:
+    def test_alpha_exceeds_five_fourths(self):
+        """The paper: any k forces alpha > 5/4."""
+        for k in (1, 2, 10, 1000, 100_000):
+            _, alpha_min = anonymous_tester_requirements(k)
+            assert alpha_min > 5 / 4
+
+    def test_alpha_tends_to_cp(self):
+        from repro.core import cp_constant
+
+        _, alpha_min = anonymous_tester_requirements(10_000_000)
+        assert alpha_min == pytest.approx(cp_constant(1 / 3), rel=1e-3)
+
+    def test_delta_max_shrinks_with_k(self):
+        d1, _ = anonymous_tester_requirements(100)
+        d2, _ = anonymous_tester_requirements(10_000)
+        assert d2 < d1
+        assert d2 == pytest.approx(d1 / 100, rel=0.05)
+
+
+class TestSandwich:
+    def test_construction_sits_between_bounds(self):
+        """Cor 7.4 lower <= our tester's cost, for the Theorem 1.3 regime."""
+        n = 1_000_000
+        for k in (100, 10_000):
+            delta_max, alpha_min = anonymous_tester_requirements(k)
+            lower = gap_tester_lower_bound(n, delta_max, alpha_min)
+            upper = gap_tester_samples(n, delta_max)
+            assert lower <= upper
+            # And the k-form of the lower bound is consistent.
+            assert zero_round_lower_bound(n, k) <= upper * math.sqrt(
+                1 / (2 * math.log(1.5))
+            ) * 2
+
+    def test_smp_bounds_scale_together(self):
+        n = 100_000
+        lo1 = smp_equality_lower_bound(n, 0.01, 2.0)
+        lo2 = smp_equality_lower_bound(4 * n, 0.01, 2.0)
+        up1 = smp_equality_upper_bound(n, 0.01, 2.0)
+        up2 = smp_equality_upper_bound(4 * n, 0.01, 2.0)
+        assert lo2 / lo1 == pytest.approx(2.0)
+        assert up2 / up1 == pytest.approx(2.0)
+
+    def test_f_tau_drives_both_sides(self):
+        assert f_tau(3.0) > f_tau(2.0) > f_tau(1.5) > 0

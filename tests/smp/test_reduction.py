@@ -1,0 +1,98 @@
+"""Tests for the BCG reduction (Theorem 7.1, forward direction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CollisionGapTester
+from repro.core.baselines import CollisionCountTester
+from repro.distributions import l1_distance_to_uniform
+from repro.smp import BCGMapping, ConcatenatedCode, TesterBasedEqualityProtocol
+
+N_BITS = 128
+
+
+@pytest.fixture(scope="module")
+def mapping() -> BCGMapping:
+    return BCGMapping(code=ConcatenatedCode.for_message_bits(N_BITS))
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    rng = np.random.default_rng(0)
+    x = rng.integers(0, 2, N_BITS)
+    y = x.copy()
+    y[3] ^= 1
+    return x, y
+
+
+class TestMapping:
+    def test_equal_inputs_give_exactly_uniform_mixture(self, mapping, inputs):
+        x, _ = inputs
+        mix = mapping.mixture_distribution(x, x)
+        assert mix.is_uniform()
+        assert mix.n == mapping.domain_size
+
+    def test_unequal_inputs_give_far_mixture(self, mapping, inputs):
+        x, y = inputs
+        mix = mapping.mixture_distribution(x, y)
+        assert l1_distance_to_uniform(mix) >= mapping.far_distance - 1e-12
+
+    def test_distance_equals_codeword_hamming_fraction(self, mapping, inputs):
+        x, y = inputs
+        wa = mapping.code.encode(x)
+        wb = mapping.code.encode(y)
+        frac = (wa != wb).mean()
+        mix = mapping.mixture_distribution(x, y)
+        assert l1_distance_to_uniform(mix) == pytest.approx(frac)
+
+    def test_supports_disjoint_iff_equal(self, mapping, inputs):
+        x, _ = inputs
+        a = set(mapping.alice_support(x))
+        b = set(mapping.bob_support(x))
+        assert not a & b
+        assert len(a | b) == mapping.domain_size
+
+    def test_samples_come_from_support(self, mapping, inputs):
+        x, _ = inputs
+        support = set(mapping.alice_support(x))
+        draws = mapping.sample_alice(x, 500, rng=1)
+        assert set(draws) <= support
+
+
+class TestProtocol:
+    def test_communication_formula(self, mapping):
+        tester = CollisionGapTester.from_delta(mapping.domain_size, 0.05)
+        proto = TesterBasedEqualityProtocol(mapping=mapping, tester=tester)
+        import math
+
+        expected = tester.samples_required * math.ceil(
+            math.log2(mapping.domain_size)
+        )
+        assert proto.communication_bits == expected
+
+    def test_gap_tester_transfers_its_gap(self, mapping, inputs):
+        """The asymmetric-error regime survives the reduction: acceptance on
+        equal inputs ~ 1 - delta; on unequal inputs strictly lower."""
+        x, y = inputs
+        tester = CollisionGapTester.from_delta(mapping.domain_size, 0.25)
+        proto = TesterBasedEqualityProtocol(mapping=mapping, tester=tester)
+        acc_eq = proto.estimate_acceptance(x, x, trials=3000, rng=2)
+        acc_neq = proto.estimate_acceptance(x, y, trials=3000, rng=3)
+        assert acc_eq >= 1 - 0.25 - 0.03
+        assert acc_neq < acc_eq
+
+    def test_strong_tester_gives_strong_protocol(self, mapping, inputs):
+        """Plugging a constant-error tester yields a constant-error EQ
+        protocol -- the reduction preserves both regimes."""
+        x, y = inputs
+        eps = mapping.far_distance
+        tester = CollisionCountTester.with_standard_budget(
+            mapping.domain_size, eps, constant=6.0
+        )
+        proto = TesterBasedEqualityProtocol(mapping=mapping, tester=tester)
+        acc_eq = proto.estimate_acceptance(x, x, trials=60, rng=4)
+        acc_neq = proto.estimate_acceptance(x, y, trials=60, rng=5)
+        assert acc_eq >= 2 / 3
+        assert acc_neq <= 1 / 3

@@ -1,0 +1,115 @@
+"""Tests for the referee-model (hash-and-test) protocol."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import far_family, uniform
+from repro.exceptions import ParameterError
+from repro.smp import (
+    RefereeProtocol,
+    expected_induced_distance,
+    induced_distribution,
+    random_balanced_partition,
+)
+
+N, EPS = 4096, 0.9
+
+
+class TestPartition:
+    def test_balanced(self):
+        part = random_balanced_partition(100, 8, rng=0)
+        counts = np.bincount(part, minlength=8)
+        assert counts.max() - counts.min() <= 1
+
+    def test_exactly_balanced_when_divisible(self):
+        part = random_balanced_partition(64, 8, rng=1)
+        assert set(np.bincount(part)) == {8}
+
+    def test_random_across_seeds(self):
+        a = random_balanced_partition(50, 4, rng=2)
+        b = random_balanced_partition(50, 4, rng=3)
+        assert not np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            random_balanced_partition(10, 1)
+        with pytest.raises(ParameterError):
+            random_balanced_partition(10, 20)
+
+
+class TestInducedDistribution:
+    def test_uniform_stays_uniform_when_divisible(self):
+        part = random_balanced_partition(64, 8, rng=0)
+        induced = induced_distribution(uniform(64), part)
+        assert induced.is_uniform()
+
+    def test_mass_conserved(self):
+        far = far_family("heavy", 100, 0.5)
+        part = random_balanced_partition(100, 10, rng=1)
+        induced = induced_distribution(far, part)
+        assert induced.probs.sum() == pytest.approx(1.0)
+
+    def test_contraction_follows_sqrt_law(self):
+        """mean induced distance ~ kappa_hat * eps * sqrt(B/n) with
+        kappa_hat in a stable band across bucket counts."""
+        far = far_family("paninski", N, EPS, rng=0)
+        ratios = []
+        for ell in (4, 6, 8):
+            buckets = 1 << ell
+            mean_d, _ = expected_induced_distance(far, buckets, trials=20, rng=1)
+            ratios.append(mean_d / (EPS * math.sqrt(buckets / N)))
+        assert all(0.5 <= r <= 1.1 for r in ratios)
+        # The band is narrow: the sqrt law is the right shape.
+        assert max(ratios) - min(ratios) < 0.3
+
+    def test_kappa_constant_is_conservative(self):
+        """CONTRACTION_KAPPA must lower-bound the measured contraction on
+        every certified far family (else the referee threshold is wrong)."""
+        from repro.smp.referee import CONTRACTION_KAPPA
+
+        for family in ("paninski", "two_bump", "heavy", "support"):
+            far = far_family(family, N, EPS, rng=2)
+            mean_d, min_d = expected_induced_distance(far, 64, trials=20, rng=3)
+            law = CONTRACTION_KAPPA * EPS * math.sqrt(64 / N)
+            assert min_d >= law * 0.9, family
+
+
+class TestRefereeProtocol:
+    def test_communication_accounting(self):
+        proto = RefereeProtocol(n=N, eps=EPS, message_bits=8, players=100)
+        assert proto.buckets == 256
+        assert proto.total_communication_bits == 800
+
+    def test_bucket_count_capped_by_domain(self):
+        with pytest.raises(ParameterError):
+            RefereeProtocol(n=100, eps=0.5, message_bits=8, players=10)
+
+    def test_trade_off_direction(self):
+        """[ACT18]'s headline: more bits per player, fewer players."""
+        ks = [RefereeProtocol.players_needed(N, EPS, ell) for ell in (4, 6, 8, 10)]
+        assert ks == sorted(ks, reverse=True)
+
+    def test_players_scale_as_inverse_sqrt_buckets(self):
+        k4 = RefereeProtocol.players_needed(N, EPS, 4)
+        k8 = RefereeProtocol.players_needed(N, EPS, 8)
+        # k ~ n/(eps^2 sqrt(B)): 16x buckets -> 4x fewer players.
+        assert k4 / k8 == pytest.approx(4.0, rel=0.1)
+
+    def test_statistical_guarantee(self):
+        u = uniform(N)
+        far = far_family("paninski", N, EPS, rng=4)
+        proto = RefereeProtocol(
+            n=N, eps=EPS, message_bits=8,
+            players=RefereeProtocol.players_needed(N, EPS, 8),
+        )
+        assert proto.estimate_error(u, True, trials=20, rng=5) <= 1 / 3
+        assert proto.estimate_error(far, False, trials=20, rng=6) <= 1 / 3
+
+    def test_domain_mismatch(self):
+        proto = RefereeProtocol(n=N, eps=EPS, message_bits=8, players=10)
+        with pytest.raises(ParameterError):
+            proto.run(uniform(N + 1), rng=0)

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSolveThreshold:
+    def test_prints_parameters(self, capsys):
+        code = main(["solve-threshold", "--n", "50000", "--k", "20000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "samples per node" in out
+        assert "alarm threshold" in out
+
+    def test_exact_flag(self, capsys):
+        code = main(["solve-threshold", "--n", "50000", "--k", "20000", "--exact"])
+        assert code == 0
+
+    def test_with_trials(self, capsys):
+        code = main(
+            ["solve-threshold", "--n", "20000", "--k", "10000", "--eps", "1.0",
+             "--trials", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "measured over 5 trials" in out
+
+    def test_infeasible_exits_2(self, capsys):
+        code = main(["solve-threshold", "--n", "100", "--k", "10"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+
+class TestOtherCommands:
+    def test_solve_and(self, capsys):
+        code = main(
+            ["solve-and", "--n", "50000", "--k", "1024", "--eps", "1.0",
+             "--p", "0.45"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repetitions m" in out
+
+    def test_solve_congest(self, capsys):
+        code = main(
+            ["solve-congest", "--n", "500", "--k", "5000", "--diameter", "20"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "package size tau" in out
+        assert "D=20" in out
+
+    def test_demo(self, capsys):
+        code = main(["demo", "--n", "20000", "--k", "10000", "--eps", "1.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "accept" in out or "reject" in out
+
+    def test_bounds(self, capsys):
+        code = main(["bounds", "--n", "50000", "--k", "20000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Thm 1.2" in out and "lower bound" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,69 @@
+"""Tests for the exception hierarchy contract.
+
+Callers are promised: everything the library raises derives from
+``ReproError``, and the domain subclasses double as the matching builtin
+(``ValueError`` / ``RuntimeError``) so generic handlers keep working.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    BandwidthExceededError,
+    CodingError,
+    InfeasibleParametersError,
+    InvalidDistributionError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InvalidDistributionError,
+            ParameterError,
+            InfeasibleParametersError,
+            SimulationError,
+            BandwidthExceededError,
+            CodingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        for exc in (InvalidDistributionError, ParameterError, CodingError):
+            assert issubclass(exc, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(SimulationError, RuntimeError)
+        assert issubclass(BandwidthExceededError, RuntimeError)
+
+    def test_infeasible_is_a_parameter_error(self):
+        assert issubclass(InfeasibleParametersError, ParameterError)
+
+    def test_bandwidth_is_a_simulation_error(self):
+        assert issubclass(BandwidthExceededError, SimulationError)
+
+
+class TestCatchability:
+    def test_library_errors_caught_by_single_handler(self):
+        """One except clause covers the whole library, as documented."""
+        from repro.core import CollisionGapTester
+        from repro.distributions import DiscreteDistribution
+
+        caught = 0
+        for trigger in (
+            lambda: DiscreteDistribution([0.5, -0.1, 0.6]),
+            lambda: CollisionGapTester(n=0, s=2),
+            lambda: CollisionGapTester(n=10, s=1),
+        ):
+            try:
+                trigger()
+            except ReproError:
+                caught += 1
+        assert caught == 3

@@ -1,0 +1,57 @@
+"""Tests for the Theorem 1.1 (AND rule) network tester."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import far_family, uniform
+from repro.exceptions import ParameterError
+from repro.zeroround import AndRuleNetworkTester
+
+# A feasible, fast configuration: weak error budget, many nodes.
+N, K, EPS, P = 50_000, 1024, 1.0, 0.45
+
+
+@pytest.fixture(scope="module")
+def tester() -> AndRuleNetworkTester:
+    return AndRuleNetworkTester.solve(N, K, EPS, P)
+
+
+class TestConstruction:
+    def test_samples_exposed(self, tester):
+        assert tester.samples_per_node == tester.params.samples_per_node
+
+    def test_as_network_shape(self, tester):
+        net = tester.as_network()
+        assert net.k == K
+
+    def test_domain_mismatch_rejected(self, tester):
+        with pytest.raises(ParameterError):
+            tester.test(uniform(N + 1), rng=0)
+
+
+class TestStatisticalGuarantees:
+    def test_uniform_error_within_budget(self, tester):
+        err = tester.estimate_error(uniform(N), True, trials=60, rng=1)
+        # Budget 0.45; 60 trials put a ~0.13 sigma on the estimate.
+        assert err <= P + 0.20
+
+    def test_far_error_within_budget(self, tester):
+        far = far_family("paninski", N, EPS, rng=2)
+        err = tester.estimate_error(far, False, trials=60, rng=3)
+        assert err <= P + 0.20
+
+    def test_kernel_agrees_with_object_model(self, tester):
+        """The vectorised path and the honest per-node path must match in
+        distribution: compare acceptance rates."""
+        dist = far_family("heavy", N, EPS, rng=4)
+        kernel = sum(tester.test(dist, rng=100 + i) for i in range(20)) / 20
+        net = tester.as_network()
+        objects = sum(
+            net.run(dist, rng=200 + i).accepted for i in range(20)
+        ) / 20
+        assert kernel == pytest.approx(objects, abs=0.35)
+
+    def test_trials_validated(self, tester):
+        with pytest.raises(ParameterError):
+            tester.estimate_error(uniform(N), True, trials=0)

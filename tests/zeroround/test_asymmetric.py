@@ -1,0 +1,154 @@
+"""Tests for the Section 4 asymmetric-cost constructions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import far_family, uniform
+from repro.exceptions import InfeasibleParametersError, ParameterError
+from repro.zeroround import (
+    CostVector,
+    asymmetric_and_parameters,
+    asymmetric_threshold_parameters,
+    lemma41_products,
+)
+
+N, EPS = 50_000, 0.9
+
+
+class TestCostVector:
+    def test_inverse(self):
+        cv = CostVector.of([1.0, 2.0, 4.0])
+        assert np.allclose(cv.inverse, [1.0, 0.5, 0.25])
+
+    def test_l2_norm_symmetric_case(self):
+        cv = CostVector.symmetric(16)
+        assert cv.inverse_norm(2) == pytest.approx(4.0)
+
+    def test_norm_order_monotonicity(self):
+        cv = CostVector.of([1.0, 2.0, 3.0])
+        assert cv.inverse_norm(2) >= cv.inverse_norm(4) >= cv.inverse_norm(8)
+
+    def test_rejects_non_positive_costs(self):
+        with pytest.raises(ParameterError):
+            CostVector.of([1.0, 0.0])
+        with pytest.raises(ParameterError):
+            CostVector.of([])
+
+
+class TestAsymmetricThreshold:
+    def test_symmetric_costs_recover_theorem_12(self):
+        """With unit costs the solver must land near the symmetric solver."""
+        from repro.core import threshold_parameters
+
+        k = 20_000
+        sym = threshold_parameters(N, k, EPS)
+        asym = asymmetric_threshold_parameters(N, CostVector.symmetric(k), EPS)
+        samples = [s for s in asym.samples if s > 0]
+        assert min(samples) == max(samples)  # all equal
+        assert samples[0] == pytest.approx(sym.s, abs=max(3, sym.s // 3))
+
+    def test_expensive_nodes_draw_fewer_samples(self):
+        costs = CostVector.of([1.0] * 10_000 + [5.0] * 10_000)
+        params = asymmetric_threshold_parameters(N, costs, EPS)
+        cheap = params.samples[0]
+        expensive = params.samples[-1]
+        assert expensive < cheap
+        assert cheap == pytest.approx(5 * expensive, abs=5)
+
+    def test_max_cost_balanced(self):
+        costs = CostVector.of([1.0] * 10_000 + [4.0] * 10_000)
+        params = asymmetric_threshold_parameters(N, costs, EPS)
+        per_node_cost = np.asarray(params.samples) * np.asarray(costs.costs)
+        active = per_node_cost[np.asarray(params.samples) > 0]
+        # Everyone's cost should be within one sample-cost of the max.
+        assert active.max() - active.min() <= 4.0 + 1e-9
+
+    def test_cost_tracks_inverse_l2_norm(self):
+        """Doubling every cost doubles the max individual cost."""
+        base = CostVector.of([1.0] * 20_000)
+        doubled = CostVector.of([2.0] * 20_000)
+        p1 = asymmetric_threshold_parameters(N, base, EPS)
+        p2 = asymmetric_threshold_parameters(N, doubled, EPS)
+        assert p2.max_cost == pytest.approx(2 * p1.max_cost, rel=0.2)
+
+    def test_network_statistically_sound(self):
+        costs = CostVector.of([1.0] * 15_000 + [3.0] * 5_000)
+        params = asymmetric_threshold_parameters(N, costs, EPS)
+        far = far_family("paninski", N, EPS, rng=1)
+        wrong_far = sum(params.test(far, rng=100 + i) for i in range(8))
+        wrong_uni = sum(not params.test(uniform(N), rng=200 + i) for i in range(8))
+        assert wrong_far <= 4 and wrong_uni <= 4
+
+    def test_vectorised_matches_object_model(self):
+        """The grouped kernel and the per-node network agree in distribution."""
+        costs = CostVector.of([1.0] * 4800 + [2.0] * 3200)
+        params = asymmetric_threshold_parameters(5_000, costs, 1.0)
+        far = far_family("paninski", 5_000, 1.0, rng=2)
+        net = params.build_network()
+        kernel = np.mean([params.rejection_count(far, rng=i) for i in range(12)])
+        objects = np.mean(
+            [net.run(far, rng=100 + i).rejection_count for i in range(12)]
+        )
+        sigma = max(3.0, kernel**0.5)
+        assert abs(kernel - objects) <= 4 * sigma
+
+    def test_infeasible_tiny_network(self):
+        with pytest.raises(InfeasibleParametersError):
+            asymmetric_threshold_parameters(100, CostVector.symmetric(4), 0.5)
+
+
+class TestAsymmetricAnd:
+    def test_feasible_instance(self):
+        costs = CostVector.of([1.0] * 512 + [3.0] * 512)
+        params = asymmetric_and_parameters(N, costs, 1.0, p=0.45)
+        assert params.m >= 1
+        cheap = params.samples[0]
+        expensive = params.samples[-1]
+        assert expensive < cheap
+
+    def test_completeness_product(self):
+        costs = CostVector.of([1.0] * 512 + [3.0] * 512)
+        params = asymmetric_and_parameters(N, costs, 1.0, p=0.45)
+        complete = float(np.prod(1.0 - np.asarray(params.node_deltas)))
+        assert complete >= 1 - 0.45 - 1e-9
+
+    def test_symmetric_recovers_theorem_11_cost(self):
+        from repro.core import and_rule_parameters
+
+        k = 1024
+        sym = and_rule_parameters(N, k, 1.0, p=0.45)
+        asym = asymmetric_and_parameters(N, CostVector.symmetric(k), 1.0, p=0.45)
+        assert asym.max_cost == pytest.approx(
+            sym.samples_per_node, rel=0.6
+        )
+
+
+class TestLemma41:
+    def test_symmetric_point_is_maximum(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            k = int(rng.integers(2, 8))
+            x = rng.uniform(0, 0.05, size=k)
+            c = float(np.prod(1 - x))
+            a = 1.0 + 0.5 * rng.random() * min(1.0, (1 / (1 - c) - 1))
+            if a <= 1.0:
+                continue
+            g_x, g_y = lemma41_products(x, a)
+            assert g_x <= g_y + 1e-12
+
+    def test_equality_at_symmetric_input(self):
+        g_x, g_y = lemma41_products([0.01] * 5, 1.5)
+        assert g_x == pytest.approx(g_y)
+
+    def test_validations(self):
+        with pytest.raises(ParameterError):
+            lemma41_products([0.5, 1.0], 1.5)
+        with pytest.raises(ParameterError):
+            lemma41_products([0.1, 0.1], 1.0)
+        with pytest.raises(ParameterError):
+            # a >= 1/(1-c) violates the lemma's precondition.
+            lemma41_products([0.5, 0.5], 5.0)

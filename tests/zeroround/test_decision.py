@@ -1,0 +1,58 @@
+"""Tests for network decision rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.zeroround import AndRule, MajorityRule, ThresholdRule
+
+
+def votes(*bits):
+    return np.array(bits, dtype=bool)
+
+
+class TestAndRule:
+    def test_all_accept(self):
+        assert AndRule().decide(votes(1, 1, 1))
+
+    def test_single_alarm_rejects(self):
+        assert not AndRule().decide(votes(1, 0, 1))
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(ParameterError):
+            AndRule().decide(np.array([], dtype=bool))
+
+
+class TestThresholdRule:
+    def test_below_threshold_accepts(self):
+        assert ThresholdRule(3).decide(votes(0, 0, 1, 1, 1))
+
+    def test_at_threshold_rejects(self):
+        assert not ThresholdRule(3).decide(votes(0, 0, 0, 1, 1))
+
+    def test_threshold_one_equals_and_rule(self):
+        for pattern in [(1, 1, 1), (1, 0, 1), (0, 0, 0)]:
+            assert ThresholdRule(1).decide(votes(*pattern)) == AndRule().decide(
+                votes(*pattern)
+            )
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            ThresholdRule(0)
+
+    def test_threshold_exceeding_network_size(self):
+        with pytest.raises(ParameterError):
+            ThresholdRule(5).decide(votes(1, 1))
+
+
+class TestMajorityRule:
+    def test_strict_majority_accepts(self):
+        assert MajorityRule().decide(votes(1, 1, 0))
+
+    def test_tie_rejects(self):
+        assert not MajorityRule().decide(votes(1, 1, 0, 0))
+
+    def test_minority_rejects(self):
+        assert not MajorityRule().decide(votes(1, 0, 0))

@@ -1,0 +1,99 @@
+"""Failure injection: crashed (abstaining) nodes in the 0-round model.
+
+A crashed node sends no alarm — under both decision rules that is an
+"accept" vote.  Crashes therefore never hurt completeness (uniform gets
+*more* likely to be accepted) and eat into the soundness margin: the
+threshold tester solved for k nodes keeps rejecting ε-far inputs as long
+as the surviving alarm mass clears T.  These tests quantify that margin
+and check the graceful-degradation story a deployment depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import far_family, uniform
+from repro.zeroround import ThresholdNetworkTester
+from repro.zeroround.network import collision_reject_flags
+
+N, K, EPS = 50_000, 20_000, 0.9
+
+
+@pytest.fixture(scope="module")
+def tester() -> ThresholdNetworkTester:
+    return ThresholdNetworkTester.solve(N, K, EPS)
+
+
+def _alarms_with_crashes(tester, dist, crashed: int, rng) -> int:
+    """Alarm count when `crashed` of the k nodes abstain."""
+    alive = tester.params.k - crashed
+    flags = collision_reject_flags(dist, alive, tester.params.s, rng)
+    return int(flags.sum())
+
+
+class TestCompleteness:
+    def test_crashes_never_hurt_uniform(self, tester):
+        """Fewer voters -> fewer alarms: uniform acceptance only improves."""
+        u = uniform(N)
+        threshold = tester.params.threshold
+        for crashed in (0, K // 10, K // 2):
+            wrong = sum(
+                _alarms_with_crashes(tester, u, crashed, rng=crashed + i)
+                >= threshold
+                for i in range(10)
+            )
+            assert wrong <= 3
+
+
+class TestSoundnessMargin:
+    def test_tolerates_moderate_crashes(self, tester):
+        """The solved margin eta_far - T covers ~the same fraction of
+        crashed nodes: 10% crashes must not break detection."""
+        far = far_family("paninski", N, EPS, rng=0)
+        threshold = tester.params.threshold
+        crashed = K // 10
+        missed = sum(
+            _alarms_with_crashes(tester, far, crashed, rng=100 + i) < threshold
+            for i in range(10)
+        )
+        assert missed <= 3
+
+    def test_margin_formula(self, tester):
+        """Expected alarms scale with survivors: crashes up to
+        f* = k(1 - T/eta_far) keep E[alarms] above T."""
+        p = tester.params
+        f_star = int(K * (1 - p.threshold / p.eta_far))
+        assert f_star > K // 20  # the solved instance has real slack
+        far = far_family("paninski", N, EPS, rng=1)
+        # At half the critical crash count, detection should still work.
+        crashed = f_star // 2
+        alarms = np.mean([
+            _alarms_with_crashes(tester, far, crashed, rng=200 + i)
+            for i in range(10)
+        ])
+        assert alarms > p.threshold
+
+    def test_catastrophic_crashes_break_detection(self, tester):
+        """Sanity: with 95% of nodes down the far signal cannot clear T."""
+        far = far_family("paninski", N, EPS, rng=2)
+        crashed = int(K * 0.95)
+        alarms = np.mean([
+            _alarms_with_crashes(tester, far, crashed, rng=300 + i)
+            for i in range(10)
+        ])
+        assert alarms < tester.params.threshold
+
+
+class TestResolveAfterCrash:
+    def test_resolving_for_survivors_restores_guarantee(self):
+        """Operational playbook: when f nodes are known dead, re-solve at
+        k' = k - f; the new instance regains both error sides."""
+        survivors = K - K // 2
+        tester = ThresholdNetworkTester.solve(N, survivors, EPS)
+        u = uniform(N)
+        far = far_family("paninski", N, EPS, rng=3)
+        err_u = tester.estimate_error(u, True, trials=10, rng=4)
+        err_f = tester.estimate_error(far, False, trials=10, rng=5)
+        assert err_u <= 1 / 3 + 0.2
+        assert err_f <= 1 / 3 + 0.2

@@ -1,0 +1,96 @@
+"""Tests for the 0-round harness and its vectorised kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CollisionGapTester, RepeatedAndTester
+from repro.distributions import far_family, uniform
+from repro.exceptions import ParameterError
+from repro.zeroround import (
+    AndRule,
+    ThresholdRule,
+    ZeroRoundNetwork,
+    collision_reject_flags,
+    repeated_collision_reject_flags,
+)
+from repro.zeroround.network import estimate_rejection_probability
+
+
+class TestZeroRoundNetwork:
+    def test_result_accounting(self):
+        tester = CollisionGapTester(n=1000, s=5)
+        net = ZeroRoundNetwork(testers=[tester] * 4, rule=AndRule())
+        result = net.run(uniform(1000), rng=0)
+        assert result.accepts.shape == (4,)
+        assert result.total_samples == 20
+        assert result.rejection_count == int((~result.accepts).sum())
+
+    def test_none_testers_abstain(self):
+        tester = CollisionGapTester(n=1000, s=5)
+        net = ZeroRoundNetwork(testers=[tester, None, None], rule=AndRule())
+        result = net.run(uniform(1000), rng=0)
+        assert result.accepts[1] and result.accepts[2]
+        assert result.samples_per_node[1] == 0
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ParameterError):
+            ZeroRoundNetwork(testers=[], rule=AndRule())
+
+    def test_deterministic_given_seed(self):
+        tester = CollisionGapTester(n=100, s=8)
+        net = ZeroRoundNetwork(testers=[tester] * 6, rule=ThresholdRule(2))
+        a = net.run(uniform(100), rng=3)
+        b = net.run(uniform(100), rng=3)
+        assert np.array_equal(a.accepts, b.accepts)
+
+
+class TestVectorisedKernels:
+    def test_flags_shape(self):
+        flags = collision_reject_flags(uniform(1000), k=50, s=8, rng=0)
+        assert flags.shape == (50,) and flags.dtype == bool
+
+    def test_matches_object_model_statistically(self):
+        """Kernel and object model must estimate the same rejection rate."""
+        n, k, s = 500, 2000, 12
+        dist = uniform(n)
+        kernel_rate = collision_reject_flags(dist, k, s, rng=1).mean()
+        tester = CollisionGapTester(n=n, s=s)
+        object_rate = np.mean([
+            not tester.decide(dist.sample(s, rng=100 + i)) for i in range(2000)
+        ])
+        assert kernel_rate == pytest.approx(object_rate, abs=0.03)
+
+    def test_repeated_kernel_and_polarity(self):
+        n, k, m, s = 500, 3000, 2, 12
+        dist = uniform(n)
+        single = collision_reject_flags(dist, k, s, rng=2).mean()
+        double = repeated_collision_reject_flags(dist, k, m, s, rng=3).mean()
+        # AND-of-2 rejection should be ~ (single)^2.
+        assert double == pytest.approx(single**2, abs=0.02)
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ParameterError):
+            collision_reject_flags(uniform(10), k=0, s=5)
+        with pytest.raises(ParameterError):
+            repeated_collision_reject_flags(uniform(10), k=5, m=0, s=5)
+
+
+class TestEstimateRejectionProbability:
+    def test_uniform_rate_near_delta(self):
+        n, s = 2000, 20
+        tester = CollisionGapTester(n=n, s=s)
+        rate = estimate_rejection_probability(uniform(n), s, trials=8000, rng=4)
+        assert rate <= tester.delta + 0.02
+
+    def test_far_rate_above_uniform_rate(self):
+        n, s, eps = 2000, 20, 0.9
+        far = far_family("paninski", n, eps, rng=5)
+        rate_u = estimate_rejection_probability(uniform(n), s, trials=8000, rng=6)
+        rate_f = estimate_rejection_probability(far, s, trials=8000, rng=7)
+        assert rate_f > rate_u
+
+    def test_trials_validated(self):
+        with pytest.raises(ParameterError):
+            estimate_rejection_probability(uniform(10), 5, trials=0)

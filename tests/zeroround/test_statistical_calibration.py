@@ -1,0 +1,94 @@
+"""Deep statistical calibration checks for the threshold construction.
+
+These tests pin the *quantitative* pieces of Theorem 1.2's proof to the
+implementation: the alarm count really is binomial with the predicted
+parameter, the Chernoff bounds really dominate the exact tails, and the
+threshold really sits between the two conditional alarm distributions.
+They complement the pass/fail error-rate tests with distribution-level
+assertions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.binomial import binom_cdf, binom_sf
+from repro.core.collision import collision_free_probability_uniform
+from repro.core.params import threshold_parameters
+from repro.distributions import far_family, uniform
+from repro.zeroround import ThresholdNetworkTester
+
+N, K, EPS = 20_000, 10_000, 1.0
+
+
+@pytest.fixture(scope="module")
+def tester() -> ThresholdNetworkTester:
+    return ThresholdNetworkTester.solve(N, K, EPS)
+
+
+@pytest.fixture(scope="module")
+def uniform_counts(tester) -> np.ndarray:
+    u = uniform(N)
+    return np.array([tester.rejection_count(u, rng=i) for i in range(60)])
+
+
+@pytest.fixture(scope="module")
+def far_counts(tester) -> np.ndarray:
+    far = far_family("paninski", N, EPS, rng=0)
+    return np.array(
+        [tester.rejection_count(far, rng=100 + i) for i in range(60)]
+    )
+
+
+class TestAlarmDistribution:
+    def test_uniform_mean_matches_binomial(self, tester, uniform_counts):
+        """E[R | uniform] = k * (1 - birthday product) exactly."""
+        p_alarm = 1.0 - collision_free_probability_uniform(N, tester.params.s)
+        expected = K * p_alarm
+        sem = np.sqrt(K * p_alarm) / np.sqrt(len(uniform_counts))
+        assert uniform_counts.mean() == pytest.approx(expected, abs=5 * sem)
+
+    def test_uniform_variance_matches_binomial(self, tester, uniform_counts):
+        p_alarm = 1.0 - collision_free_probability_uniform(N, tester.params.s)
+        expected_var = K * p_alarm * (1 - p_alarm)
+        # Sample variance of 60 draws: allow a wide factor-2 band.
+        assert expected_var / 2 <= uniform_counts.var(ddof=1) <= expected_var * 2
+
+    def test_far_mean_at_least_eta_far(self, tester, far_counts):
+        """Paninski sits at the Lemma 3.2 floor, so its mean alarm count
+        must be at least eta_far (the solver's far-side lower bound)."""
+        sem = far_counts.std(ddof=1) / np.sqrt(len(far_counts))
+        assert far_counts.mean() >= tester.params.eta_far - 5 * sem
+
+    def test_distributions_separated_by_threshold(
+        self, tester, uniform_counts, far_counts
+    ):
+        t = tester.params.threshold
+        assert (uniform_counts >= t).mean() <= 1 / 3
+        assert (far_counts < t).mean() <= 1 / 3
+        # And with a genuine gap, not at the edge:
+        assert uniform_counts.max() < far_counts.min() + 0.5 * (
+            far_counts.mean() - uniform_counts.mean()
+        )
+
+
+class TestChernoffVsExact:
+    def test_chernoff_bounds_dominate_exact_tails(self):
+        """Eq. (5)'s Chernoff bounds are valid (>= exact binomial tails)
+        at the solved parameters, for both sides."""
+        params = threshold_parameters(50_000, 20_000, 0.9)
+        p_u = params.eta_uniform / params.k
+        p_f = params.eta_far / params.k
+        exact_complete = binom_sf(params.threshold, params.k, p_u)
+        exact_sound = binom_cdf(params.threshold - 1, params.k, p_f)
+        assert exact_complete <= params.completeness_error_bound + 1e-12
+        assert exact_sound <= params.soundness_error_bound + 1e-12
+
+    def test_exact_tails_much_tighter(self):
+        """The E12a story at unit-test scale: exact tails leave a large
+        margin where Chernoff is nearly spent."""
+        params = threshold_parameters(50_000, 20_000, 0.9)
+        p_u = params.eta_uniform / params.k
+        exact = binom_sf(params.threshold, params.k, p_u)
+        assert exact < params.completeness_error_bound / 3

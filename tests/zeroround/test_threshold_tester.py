@@ -1,0 +1,77 @@
+"""Tests for the Theorem 1.2 (threshold rule) network tester."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import far_family, uniform
+from repro.exceptions import ParameterError
+from repro.zeroround import ThresholdNetworkTester
+
+N, K, EPS = 50_000, 20_000, 0.9
+
+
+@pytest.fixture(scope="module")
+def tester() -> ThresholdNetworkTester:
+    return ThresholdNetworkTester.solve(N, K, EPS)
+
+
+class TestConstruction:
+    def test_parameters_consistent(self, tester):
+        p = tester.params
+        assert p.eta_uniform < p.threshold < p.eta_far
+        assert tester.samples_per_node == p.s
+
+    def test_as_network(self, tester):
+        net = tester.as_network()
+        assert net.k == K
+        assert net.rule.threshold == tester.params.threshold
+
+    def test_domain_mismatch(self, tester):
+        with pytest.raises(ParameterError):
+            tester.test(uniform(N - 1), rng=0)
+
+
+class TestRejectionCounts:
+    def test_uniform_counts_concentrate_below_threshold(self, tester):
+        counts = [tester.rejection_count(uniform(N), rng=i) for i in range(15)]
+        assert np.mean(counts) < tester.params.threshold
+        # Mean should be near (at most) eta_uniform.
+        assert np.mean(counts) <= tester.params.eta_uniform * 1.15
+
+    def test_far_counts_concentrate_above_threshold(self, tester):
+        far = far_family("paninski", N, EPS, rng=1)
+        counts = [tester.rejection_count(far, rng=100 + i) for i in range(15)]
+        assert np.mean(counts) > tester.params.threshold
+        assert np.mean(counts) >= tester.params.eta_far * 0.85
+
+
+class TestDecisions:
+    def test_uniform_error_below_budget(self, tester):
+        err = tester.estimate_error(uniform(N), True, trials=40, rng=2)
+        assert err <= 1 / 3  # typically 0 at these parameters
+
+    def test_far_error_below_budget(self, tester):
+        far = far_family("paninski", N, EPS, rng=3)
+        err = tester.estimate_error(far, False, trials=40, rng=4)
+        assert err <= 1 / 3
+
+    @pytest.mark.parametrize("family", ["two_bump", "heavy", "support"])
+    def test_all_far_families_detected(self, tester, family):
+        far = far_family(family, N, EPS, rng=5)
+        err = tester.estimate_error(far, False, trials=20, rng=6)
+        assert err <= 1 / 3
+
+    def test_less_far_distribution_harder(self, tester):
+        """A distribution at eps/3 sits inside the promise gap: the tester
+        may accept it -- rejection rate must be far below the eps-far one."""
+        mild = far_family("paninski", N, EPS / 3, rng=7)
+        counts_mild = np.mean(
+            [tester.rejection_count(mild, rng=200 + i) for i in range(10)]
+        )
+        strong = far_family("paninski", N, EPS, rng=8)
+        counts_strong = np.mean(
+            [tester.rejection_count(strong, rng=300 + i) for i in range(10)]
+        )
+        assert counts_mild < counts_strong

@@ -1,0 +1,186 @@
+"""Assemble EXPERIMENTS.md from the benchmark result tables.
+
+Run the benchmark suite first (it writes ``benchmarks/results/*.txt``),
+then:  ``python tools/collect_experiments.py``
+
+Each section pairs the paper's claim with the measured table and the
+reproduction verdict encoded in the benchmark's assertions (a table is
+only written after its assertions passed).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+
+#: Experiment sections: (id, paper claim, result files, expected shape).
+SECTIONS = [
+    (
+        "E1 — The single-collision gap tester (Theorem 3.1, Lemma 3.4)",
+        "A tester drawing s with s(s−1)=2δn and accepting iff all samples are "
+        "distinct rejects the uniform distribution w.p. ≤ δ and any ε-far "
+        "distribution w.p. ≥ (1+γε²)δ, with γ the explicit Eq. (1) slack.",
+        ["e1_gap_tester"],
+        "Measured rejection probabilities bracket δ and (1+γε²)δ on both the "
+        "worst-case (Paninski) and bulk (two-bump) families; all assertions "
+        "at 4σ Monte-Carlo margins.",
+    ),
+    (
+        "E2 — 0-round testing, AND rule (Theorem 1.1)",
+        "Network error ≤ p with s = Θ((C_p/ε²)·√(n/k^{Θ(ε²/C_p)})) samples "
+        "per node; k helps only through a tiny exponent.",
+        ["e2_and_rule"],
+        "Both error sides within budget at every k; a 16× larger network "
+        "saves < 3× samples — the AND rule's amplification-hostility. Note "
+        "the construction is *infeasible* for small k at p = 1/3 (the weak "
+        "collision signal cannot reach constant per-node rejection), exactly "
+        "the regime restriction the paper states.",
+    ),
+    (
+        "E3 — 0-round testing, threshold rule (Theorem 1.2)",
+        "Error ≤ 1/3 with s = Θ(√(n/k)/ε²) samples per node and threshold "
+        "T = Θ(1/ε⁴): the full √k saving.",
+        ["e3_threshold_scaling", "e3b_rule_head_to_head"],
+        "Log-log slope of s against k ≈ −0.5; errors ≤ 1/3 everywhere; the "
+        "threshold rule beats the AND rule by ≥ 2× at a common "
+        "configuration (who wins: threshold, decisively).",
+    ),
+    (
+        "E4 — Asymmetric costs (Section 4)",
+        "Max individual cost C = Θ(√n/ε²)/‖T‖₂ under the threshold rule; "
+        "soundness inherited from the symmetric case by Lemma 4.1.",
+        ["e4_asymmetric_costs", "e4b_lemma41"],
+        "Measured C within ~5% of √(2nΔ)/‖T‖₂ across uniform, bimodal and "
+        "power-law cost profiles; Lemma 4.1's extremality g(X) ≤ g(Y) holds "
+        "on 200 random assignments (0 violations).",
+    ),
+    (
+        "E5 — τ-token packaging (Definition 2, Theorem 5.1)",
+        "Packages of exactly τ tokens, ≤ 1 package per token, ≤ τ−1 dropped, "
+        "in O(D + τ) CONGEST rounds.",
+        ["e5_token_packaging", "e5b_tau_slope", "e5c_diameter_slope"],
+        "All Definition 2 invariants verified per run across 6 topologies; "
+        "rounds ≈ 4D + τ (slope ≈ 1 in τ on a star, linear in D on lines).",
+    ),
+    (
+        "E6 — CONGEST uniformity testing (Theorem 1.4)",
+        "O(D + n/(kε⁴)) rounds, error ≤ 1/3, O(log n)-bit messages.",
+        ["e6_congest", "e6b_tau_shape"],
+        "Rounds within the O(D+τ) budget on star (τ dominates) and line "
+        "(D dominates); bandwidth certificate from the engine; τ grows "
+        "with n and shrinks with k as Θ(n/(kε⁴)) predicts.",
+    ),
+    (
+        "E7 — LOCAL uniformity testing (Section 6)",
+        "MIS of G^r gathering: ≤ 2k/r virtual nodes with ≥ r/2 samples each; "
+        "AND-rule testing at radius r gives error ≤ p.",
+        ["e7_local_ring", "e7b_radius"],
+        "Structural counting bounds hold exactly; measured errors within "
+        "p = 0.45 on a 4096-node ring at r = 64; the doubling-search radius "
+        "is consistent with the paper's closed-form curve.",
+    ),
+    (
+        "E8 — SMP Equality with asymmetric error (Lemma 7.3)",
+        "A private-coin simultaneous protocol with worst-case O(√(τδn)) "
+        "bits, perfect YES acceptance, NO rejection ≥ τδ.",
+        ["e8_smp_equality", "e8b_cost_scaling"],
+        "Zero rejections on equal inputs across all runs; NO-side rejection "
+        "≥ τδ at 4σ; cost slope 1/2 in δ. The measured cost sits above the "
+        "Theorem 7.2 Ω(√(f(τ)δn)) curve — both sides of the tight bound.",
+    ),
+    (
+        "E9 — The lower-bound chain (Lemma 2.1, Thm 7.1/7.2, Cor 7.4, Thm 1.3)",
+        "KL separation D(B_{1−δ}‖B_{1−τδ}) ≥ (δ/4)f(τ); any (δ,α)-gap tester "
+        "needs Ω(√(f(α)δn)/log n) samples; testers convert to EQ protocols "
+        "at q·log n bits.",
+        ["e9a_kl_grid", "e9b_sandwich", "e9c_reduction"],
+        "Lemma 2.1 holds on a 144-point grid (0 violations); the measured "
+        "minimal sample count for the gap sits between Cor 7.4's lower "
+        "curve and the √(2δn) construction; the forward reduction "
+        "preserves the (δ, α) profile at q·log n bits.",
+    ),
+    (
+        "E10 — Centralized context (the weak-signal premise)",
+        "Classical testers need Θ(√n/ε²) samples for constant error; below "
+        "that, only the single-collision gap signal survives.",
+        ["e10_baselines", "e10b_weak_signal"],
+        "Collision-count and χ² testers flip from unusable to reliable "
+        "across the √n/ε² crossover; the plug-in L1 tester needs Θ(n) "
+        "samples; at s ≈ √(2δn) ≪ crossover the gap signal is present, "
+        "reliable, and tiny — the paper's starting point.",
+    ),
+    (
+        "E11 — Distributed identity testing via the filter (Intro claim)",
+        "Testing equality to any fixed η reduces to uniformity through a "
+        "per-sample filter each node applies locally with private coins.",
+        ["e11_identity", "e11b_filter_distance"],
+        "The filter maps η to uniform exactly and preserves L1 distance "
+        "(machine precision); the threshold network over filtered samples "
+        "accepts η and rejects corrupted profiles.",
+    ),
+    (
+        "E12 — Ablations",
+        "(a) Threshold placement: Chernoff Eq. (5) vs exact binomial tails. "
+        "(b) Far-family difficulty: Lemma 3.2 is tight on the Paninski "
+        "pairing.",
+        ["e12a_window_ablation", "e12b_family_difficulty"],
+        "Exact tails dominate: smaller minimal feasible k and fewer samples "
+        "at a common k, with the guarantee intact. Paninski/two-bump sit at "
+        "the (1+ε²)/n collision floor and reject least; the heavy-element "
+        "family rejects most.",
+    ),
+    (
+        "E13 — Extension: the referee model of [ACT18] (related work §1.1)",
+        "One sample per player, ℓ-bit messages to a referee: the focus of "
+        "Acharya–Canonne–Tyagi is the players-vs-communication trade-off, "
+        "orthogonal to this paper's per-node sample complexity.",
+        ["e13_referee_tradeoff"],
+        "The hash-and-test protocol reproduces the inverse trade-off: "
+        "players scale as B^{-1/2} in the bucket count (measured slope "
+        "−0.5), with error ≤ 1/3 on both sides at every message length.",
+    ),
+]
+
+HEADER = """# EXPERIMENTS — paper claims vs measured
+
+Generated by ``python tools/collect_experiments.py`` from the tables the
+benchmark suite writes to ``benchmarks/results/`` (each table is written
+only after its reproduction assertions passed).  The paper (PODC 2018)
+reports no absolute-number tables — every claim is a theorem — so
+"reproduction" here means the **shape** of each theorem measured on the
+implementation: who wins, what slope, which bound holds.  See DESIGN.md
+for the experiment-to-module index.
+
+Environment: pure-Python simulation (numpy), single machine, all
+randomness seeded.  Regenerate with
+``pytest benchmarks/ --benchmark-only`` then this script.
+"""
+
+
+def main() -> int:
+    missing = []
+    parts = [HEADER]
+    for title, claim, files, verdict in SECTIONS:
+        parts.append(f"\n## {title}\n")
+        parts.append(f"**Paper claim.** {claim}\n")
+        for name in files:
+            path = RESULTS / f"{name}.txt"
+            if not path.exists():
+                missing.append(name)
+                parts.append(f"\n*(missing: run benchmarks to produce {name})*\n")
+                continue
+            parts.append("\n```text\n" + path.read_text().rstrip() + "\n```\n")
+        parts.append(f"**Measured outcome.** {verdict}\n")
+    out = ROOT / "EXPERIMENTS.md"
+    out.write_text("".join(parts))
+    print(f"wrote {out} ({len(SECTIONS)} sections, {len(missing)} missing tables)")
+    if missing:
+        print("missing:", ", ".join(missing))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
