@@ -62,23 +62,23 @@ def test_e12a_chernoff_vs_exact_windows(benchmark):
     assert p_exact.s <= p_chernoff.s
     print("\n" + save_table("e12a_window_ablation", table))
 
-    # The exact solver still delivers the statistical guarantee.
+    # The exact solver still delivers the statistical guarantee.  One
+    # threshold_verdicts call replaces the old 20-iteration Python loop:
+    # all 20 network trials share a single (trials*k, s) sample matrix.
     tester_params = threshold_parameters_exact(N, max(k_exact, 2000), EPS)
     u = uniform(N)
     far = far_family("paninski", N, EPS, rng=0)
     k_run = tester_params.k
-    from repro.zeroround.network import collision_reject_flags
+    from repro.zeroround.network import threshold_verdicts
 
-    wrong_u = sum(
-        int(collision_reject_flags(u, k_run, tester_params.s, rng=i).sum())
-        >= tester_params.threshold
-        for i in range(20)
+    accepts_u = threshold_verdicts(
+        u, k_run, tester_params.s, tester_params.threshold, 20, rng=7
     )
-    wrong_f = sum(
-        int(collision_reject_flags(far, k_run, tester_params.s, rng=100 + i).sum())
-        < tester_params.threshold
-        for i in range(20)
+    accepts_f = threshold_verdicts(
+        far, k_run, tester_params.s, tester_params.threshold, 20, rng=107
     )
+    wrong_u = int((~accepts_u).sum())
+    wrong_f = int(accepts_f.sum())
     assert wrong_u <= 20 * (1 / 3) + 3
     assert wrong_f <= 20 * (1 / 3) + 3
 
@@ -100,7 +100,9 @@ def test_e12b_far_family_difficulty(benchmark):
     rates = {}
     for family in sorted(FAR_FAMILY_BUILDERS):
         dist = far_family(family, N, EPS, rng=1)
-        rate = estimate_rejection_probability(dist, tester.s, trials, rng=2)
+        rate = estimate_rejection_probability(
+            dist, tester.s, trials, rng=2, batch=8192
+        )
         rates[family] = rate
         table.add_row(
             [family, round(dist.collision_probability() * N, 3),
@@ -115,5 +117,7 @@ def test_e12b_far_family_difficulty(benchmark):
 
     dist = far_family("paninski", N, EPS, rng=3)
     benchmark(
-        lambda: estimate_rejection_probability(dist, tester.s, 4096, rng=4)
+        lambda: estimate_rejection_probability(
+            dist, tester.s, 4096, rng=4, batch=4096
+        )
     )

@@ -19,6 +19,7 @@ from _common import save_table
 
 N = 20_000
 TRIALS = 30_000
+BATCH = 8192  # trials per vectorised sample matrix in the batched engine
 CASES = [
     (0.05, 0.6, "paninski"),
     (0.05, 0.9, "paninski"),
@@ -47,8 +48,14 @@ def test_e1_gap_tester_table(benchmark):
     for delta, eps, family in CASES:
         tester = CollisionGapTester.from_delta(N, delta)
         far = far_family(family, N, eps, rng=1)
-        rate_u = estimate_rejection_probability(u, tester.s, TRIALS, rng=2)
-        rate_f = estimate_rejection_probability(far, tester.s, TRIALS, rng=3)
+        # Seed-like rng routes through TrialRunner.error_rate_batched, so
+        # the estimates are chunk-keyed and invariant to batch/workers.
+        rate_u = estimate_rejection_probability(
+            u, tester.s, TRIALS, rng=2, batch=BATCH
+        )
+        rate_f = estimate_rejection_probability(
+            far, tester.s, TRIALS, rng=3, batch=BATCH
+        )
         floor = (1.0 + tester.gamma(eps) * eps * eps) * tester.delta
         # Reproduction criteria (4-sigma Monte-Carlo margins).
         sigma = (tester.delta / TRIALS) ** 0.5
@@ -62,5 +69,7 @@ def test_e1_gap_tester_table(benchmark):
 
     tester = CollisionGapTester.from_delta(N, 0.05)
     benchmark(
-        lambda: estimate_rejection_probability(u, tester.s, 4096, rng=9)
+        lambda: estimate_rejection_probability(
+            u, tester.s, 4096, rng=9, batch=4096
+        )
     )

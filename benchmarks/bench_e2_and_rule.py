@@ -42,8 +42,10 @@ def test_e2_and_rule_table(benchmark):
     samples_seen = []
     for k in K_SWEEP:
         tester = AndRuleNetworkTester.solve(N, k, EPS, P)
-        err_u = tester.estimate_error(u, True, TRIALS, rng=k)
-        err_f = tester.estimate_error(far, False, TRIALS, rng=k + 1)
+        # Seed-like rng routes through the batched trial engine; batch=None
+        # lets auto_batch pick a memory-capped trials-per-matrix.
+        err_u = tester.estimate_error(u, True, TRIALS, rng=k, batch=None)
+        err_f = tester.estimate_error(far, False, TRIALS, rng=k + 1, batch=None)
         # Reproduction criteria: both error sides within budget (+MC slack).
         assert err_u <= P + 0.15
         assert err_f <= P + 0.15
@@ -64,4 +66,6 @@ def test_e2_and_rule_table(benchmark):
     print("\n" + save_table("e2_and_rule", table))
 
     tester = AndRuleNetworkTester.solve(N, K_SWEEP[0], EPS, P)
-    benchmark(lambda: tester.test(u, rng=1))
+    # Benchmark the vectorised and_rule_verdicts kernel: 16 network trials
+    # per call, one sample matrix each.
+    benchmark(lambda: tester.test_many(u, 16, rng=1))

@@ -35,8 +35,10 @@ def test_e3_threshold_scaling_table(benchmark):
     ks, ss = [], []
     for k in K_SWEEP:
         tester = ThresholdNetworkTester.solve(N, k, EPS)
-        err_u = tester.estimate_error(u, True, TRIALS, rng=k)
-        err_f = tester.estimate_error(far, False, TRIALS, rng=k + 1)
+        # Seed-like rng routes through the batched trial engine; batch=None
+        # lets auto_batch pick a memory-capped trials-per-matrix.
+        err_u = tester.estimate_error(u, True, TRIALS, rng=k, batch=None)
+        err_f = tester.estimate_error(far, False, TRIALS, rng=k + 1, batch=None)
         assert err_u <= 1 / 3 + 0.1
         assert err_f <= 1 / 3 + 0.1
         ks.append(k)
@@ -58,7 +60,9 @@ def test_e3_threshold_scaling_table(benchmark):
     print("\n" + save_table("e3_threshold_scaling", table))
 
     tester = ThresholdNetworkTester.solve(N, 20_000, EPS)
-    benchmark(lambda: tester.test(u, rng=1))
+    # Benchmark the vectorised threshold_verdicts kernel: 16 network
+    # trials per call, one sample matrix each.
+    benchmark(lambda: tester.test_many(u, 16, rng=1))
 
 
 @pytest.mark.benchmark(group="e3")

@@ -350,10 +350,32 @@ class CongestUniformityTester:
         is_uniform: bool,
         trials: int,
         rng: SeedLike = None,
+        workers: int = 1,
     ) -> float:
-        """Monte-Carlo error rate over full protocol executions."""
+        """Monte-Carlo error rate over full protocol executions.
+
+        Each trial simulates the entire CONGEST protocol, so there is no
+        vectorised kernel — but the trials are embarrassingly parallel.
+        Seed-like ``rng`` routes through the trial engine: chunk-keyed
+        streams, reproducible for any ``workers``, and ``workers > 1``
+        fans full protocol executions out over a process pool.  A
+        ``Generator`` parent falls back to the sequential legacy loop.
+        """
         if trials < 1:
             raise ParameterError(f"trials must be >= 1, got {trials}")
+        if rng is None or isinstance(rng, (int, np.integer)):
+            from repro.experiments.runner import TrialRunner
+
+            experiment = _CongestTrialExperiment(
+                tester=self,
+                topology=topology,
+                distribution=distribution,
+                is_uniform=is_uniform,
+            )
+            est = TrialRunner(base_seed=0 if rng is None else int(rng)).error_rate(
+                experiment, trials, "congest", topology.k, workers=workers
+            )
+            return est.rate
         gen = ensure_rng(rng)
         errors = 0
         for _ in range(trials):
@@ -361,3 +383,17 @@ class CongestUniformityTester:
             if accepted != is_uniform:
                 errors += 1
         return errors / trials
+
+
+@dataclass(frozen=True)
+class _CongestTrialExperiment:
+    """Picklable scalar experiment: one full protocol run, ``True`` = error."""
+
+    tester: CongestUniformityTester
+    topology: Topology
+    distribution: DiscreteDistribution
+    is_uniform: bool
+
+    def __call__(self, rng: np.random.Generator) -> bool:
+        accepted, _ = self.tester.run(self.topology, self.distribution, rng)
+        return accepted != self.is_uniform

@@ -15,7 +15,7 @@ from typing import Optional
 import numpy as np
 
 from repro.distributions.base import DiscreteDistribution
-from repro.rng import SeedLike, ensure_rng
+from repro.rng import SeedLike, ensure_rng, spawn
 
 
 class SampleOracle:
@@ -50,12 +50,17 @@ class SampleOracle:
 
     def split(self, parts: int) -> "list[SampleOracle]":
         """Create *parts* oracles over the same distribution with independent
-        randomness -- one per simulated node."""
+        randomness -- one per simulated node.
+
+        Children are derived via ``SeedSequence`` spawning (collision-safe),
+        so their streams are guaranteed independent of each other and of the
+        parent oracle's remaining draws.
+        """
         if parts < 0:
             raise ValueError(f"parts must be >= 0, got {parts}")
-        seeds = self._rng.integers(0, 2**63 - 1, size=parts)
         return [
-            SampleOracle(self._distribution, int(seed)) for seed in seeds
+            SampleOracle(self._distribution, child)
+            for child in spawn(self._rng, parts)
         ]
 
 
@@ -118,5 +123,9 @@ class CountingOracle(SampleOracle):
                 f"sample budget exceeded: {self._samples_drawn} drawn, "
                 f"{count} requested, budget {self._budget}"
             )
+        # Count only after the underlying draw succeeds: a failed draw (bad
+        # count, broken distribution) must not corrupt the accounting the
+        # lower-bound experiments and the Section 4 cost model rely on.
+        samples = super().draw(count)
         self._samples_drawn += count
-        return super().draw(count)
+        return samples

@@ -6,15 +6,22 @@ and the examples:
 - :mod:`repro.experiments.stats` — Monte-Carlo error estimation with
   Wilson confidence intervals, and the empirical sample-complexity search
   used to sandwich measured costs between the paper's bounds.
-- :mod:`repro.experiments.runner` — deterministic per-configuration trial
-  loops keyed by (seed, labels).
+- :mod:`repro.experiments.runner` — the batched, parallel Monte-Carlo
+  trial engine: deterministic per-configuration chunk streams keyed by
+  (seed, labels, chunk), with serial, vectorised and process-pool paths
+  that produce bit-identical results.
 - :mod:`repro.experiments.tables` — plain-ASCII table rendering for
   benchmark output (the repo's stand-in for the paper's tables).
 - :mod:`repro.experiments.sweeps` — parameter grids and log-log slope
   fitting for scaling-shape checks (e.g. "samples ∝ k^{−1/2}").
 """
 
-from repro.experiments.runner import TrialRunner, estimate_probability
+from repro.experiments.runner import (
+    TRIAL_CHUNK,
+    TrialRunner,
+    estimate_probability,
+    estimate_probability_batched,
+)
 from repro.experiments.stats import (
     ErrorEstimate,
     empirical_sample_complexity,
@@ -30,8 +37,10 @@ from repro.experiments.sweeps import (
 from repro.experiments.tables import Table
 
 __all__ = [
+    "TRIAL_CHUNK",
     "TrialRunner",
     "estimate_probability",
+    "estimate_probability_batched",
     "ErrorEstimate",
     "estimate",
     "wilson_interval",

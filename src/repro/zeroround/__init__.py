@@ -31,10 +31,18 @@ from repro.zeroround.decision import (
     ThresholdRule,
 )
 from repro.zeroround.network import (
+    AndNetworkErrorKernel,
+    CollisionTrialKernel,
     NetworkResult,
+    ScalarCollisionTrial,
+    ThresholdNetworkErrorKernel,
     ZeroRoundNetwork,
+    and_rule_verdicts,
+    auto_batch,
     collision_reject_flags,
+    estimate_rejection_probability,
     repeated_collision_reject_flags,
+    threshold_verdicts,
 )
 from repro.zeroround.threshold_tester import ThresholdNetworkTester
 
@@ -47,6 +55,14 @@ __all__ = [
     "NetworkResult",
     "collision_reject_flags",
     "repeated_collision_reject_flags",
+    "and_rule_verdicts",
+    "threshold_verdicts",
+    "auto_batch",
+    "estimate_rejection_probability",
+    "CollisionTrialKernel",
+    "ScalarCollisionTrial",
+    "ThresholdNetworkErrorKernel",
+    "AndNetworkErrorKernel",
     "AndRuleNetworkTester",
     "ThresholdNetworkTester",
     "CostVector",

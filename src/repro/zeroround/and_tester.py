@@ -15,6 +15,7 @@ threshold rule is the better deal (benchmark E3 measures the difference).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -24,8 +25,11 @@ from repro.exceptions import ParameterError
 from repro.rng import SeedLike, ensure_rng
 from repro.zeroround.decision import AndRule
 from repro.zeroround.network import (
+    AndNetworkErrorKernel,
     NetworkResult,
     ZeroRoundNetwork,
+    and_rule_verdicts,
+    auto_batch,
     repeated_collision_reject_flags,
 )
 
@@ -81,24 +85,65 @@ class AndRuleNetworkTester:
         )
         return not bool(rejects.any())
 
+    def test_many(
+        self,
+        distribution: DiscreteDistribution,
+        trials: int,
+        rng: SeedLike = None,
+        batch: Optional[int] = None,
+    ) -> np.ndarray:
+        """Accept verdicts of *trials* network executions, trial-batched.
+
+        Bit-identical to *trials* sequential :meth:`test` calls on the same
+        generator; the batch size is auto-capped so one sample matrix stays
+        within the kernel memory budget.
+        """
+        p = self.params
+        if batch is None:
+            batch = auto_batch(p.k * p.m * p.s_per_repetition)
+        gen = ensure_rng(rng)
+        out = np.empty(trials, dtype=bool)
+        pos = 0
+        while pos < trials:
+            m = min(batch, trials - pos)
+            out[pos : pos + m] = and_rule_verdicts(
+                distribution, p.k, p.m, p.s_per_repetition, m, gen
+            )
+            pos += m
+        return out
+
     def estimate_error(
         self,
         distribution: DiscreteDistribution,
         is_uniform: bool,
         trials: int,
         rng: SeedLike = None,
+        batch: Optional[int] = None,
+        workers: int = 1,
     ) -> float:
         """Monte-Carlo error rate over *trials* network executions.
 
         ``is_uniform`` selects which verdict counts as an error (rejecting
-        uniform vs accepting a far distribution).
+        uniform vs accepting a far distribution).  Seed-like ``rng`` routes
+        through the batched trial engine (reproducible for any ``batch`` /
+        ``workers``); a ``Generator`` parent falls back to the sequential
+        single-stream path.
         """
         if trials < 1:
             raise ParameterError(f"trials must be >= 1, got {trials}")
+        p = self.params
+        if batch is None:
+            batch = auto_batch(p.k * p.m * p.s_per_repetition)
+        if rng is None or isinstance(rng, (int, np.integer)):
+            from repro.experiments.runner import TrialRunner
+
+            kernel = AndNetworkErrorKernel(
+                distribution, p.k, p.m, p.s_per_repetition, is_uniform
+            )
+            est = TrialRunner(base_seed=0 if rng is None else int(rng)).error_rate_batched(
+                kernel, trials, "and_rule", p.k, batch=batch, workers=workers
+            )
+            return est.rate
         gen = ensure_rng(rng)
-        errors = 0
-        for _ in range(trials):
-            accepted = self.test(distribution, gen)
-            if accepted != is_uniform:
-                errors += 1
+        errors = int((self.test_many(distribution, trials, gen, batch) != is_uniform).sum())
         return errors / trials

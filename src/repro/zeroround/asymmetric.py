@@ -167,6 +167,15 @@ class AsymmetricThresholdParameters:
         """One epoch's network verdict (True = accept), vectorised."""
         return self.rejection_count(distribution, rng) < self.threshold
 
+    def test_many(self, distribution, trials: int, rng=None, batch: int = 4096):
+        """Accept verdicts for *trials* epochs, trial-batched.
+
+        Routes through :meth:`~repro.zeroround.network.ZeroRoundNetwork.run_many`,
+        whose grouped-by-``s`` kernel keeps heterogeneous fleets with many
+        distinct sample counts to a handful of numpy passes per batch.
+        """
+        return self.build_network().run_many(distribution, trials, rng, batch=batch)
+
 
 def asymmetric_threshold_parameters(
     n: int,

@@ -1,31 +1,43 @@
 """The k-node 0-round harness and its vectorised fast paths.
 
-Two ways to run a 0-round network:
+Three ways to run a 0-round network:
 
-1. :class:`ZeroRoundNetwork` — the honest object model: one
-   :class:`~repro.core.gap.CentralizedTester` per node, per-node sample
-   oracles, a :class:`~repro.zeroround.decision.DecisionRule`.  Use this
-   when nodes are heterogeneous (the Section 4 asymmetric setting) or when
-   an experiment needs per-node accounting.
-2. :func:`collision_reject_flags` / :func:`repeated_collision_reject_flags`
-   — flat numpy kernels for the homogeneous case, used by the statistical
-   benchmarks that need tens of thousands of network trials.  They produce
-   *identical* decisions to the object model (a property the tests check),
-   just ~100× faster.
+1. :class:`ZeroRoundNetwork.run` — the honest object model: one
+   :class:`~repro.core.gap.CentralizedTester` per node, a
+   :class:`~repro.zeroround.decision.DecisionRule`, one trial per call.
+2. :class:`ZeroRoundNetwork.run_many` — the trial-batched path: draws the
+   samples for a whole batch of network executions in one matrix call and
+   vectorises the per-node decisions.  Homogeneous networks collapse to a
+   single collision kernel; heterogeneous (Section 4 asymmetric) networks
+   are grouped by tester signature.  **Bit-identical** to calling
+   :meth:`~ZeroRoundNetwork.run` in a loop with the same generator (a
+   property the tests pin), because both consume the generator stream in
+   node order and numpy streams are prefix-stable under call splitting.
+3. Flat kernels — :func:`collision_reject_flags`,
+   :func:`repeated_collision_reject_flags`, and the trial-batched
+   :func:`threshold_verdicts` / :func:`and_rule_verdicts` — for the
+   statistical benchmarks that need tens of thousands of network trials.
+
+The frozen-dataclass experiment wrappers at the bottom adapt the kernels to
+the ``(rng, count) -> bool[count]`` batched-experiment interface of
+:class:`repro.experiments.runner.TrialRunner`; being module-level and
+picklable, they also work on the engine's multi-process path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.amplify import RepeatedAndTester
+from repro.core.collision import CollisionGapTester
 from repro.core.gap import CentralizedTester
 from repro.distributions.base import DiscreteDistribution
 from repro.exceptions import ParameterError
-from repro.rng import SeedLike, ensure_rng, spawn
-from repro.zeroround.decision import DecisionRule
+from repro.rng import SeedLike, ensure_rng
+from repro.zeroround.decision import AndRule, DecisionRule, MajorityRule, ThresholdRule
 
 
 @dataclass(frozen=True)
@@ -83,27 +95,142 @@ class ZeroRoundNetwork:
         """Number of network nodes."""
         return len(self.testers)
 
+    @property
+    def total_samples_per_trial(self) -> int:
+        """Samples the whole network consumes in one execution."""
+        return sum(t.samples_required for t in self.testers if t is not None)
+
     def run(self, distribution: DiscreteDistribution, rng: SeedLike = None) -> NetworkResult:
         """Execute one trial: draw fresh per-node samples and decide.
 
-        Each node gets an independent child generator (private coins /
-        private samples), exactly matching the paper's model.
+        Nodes draw disjoint consecutive segments of one master stream, in
+        node-index order.  The segments are i.i.d., so each node's samples
+        are private and independent exactly as in the paper's model — and
+        the consumption order makes a loop of ``run`` calls bit-identical
+        to one :meth:`run_many` call with the same generator.
         """
         gen = ensure_rng(rng)
-        node_rngs = spawn(gen, self.k)
         accepts = np.ones(self.k, dtype=bool)
         samples_used = np.zeros(self.k, dtype=np.int64)
         for i, tester in enumerate(self.testers):
             if tester is None:
                 continue
             s = tester.samples_required
-            batch = distribution.sample(s, node_rngs[i])
+            batch = distribution.sample(s, gen)
             accepts[i] = tester.decide(batch)
             samples_used[i] = s
         return NetworkResult(
             accepted=self.rule.decide(accepts),
             accepts=accepts,
             samples_per_node=samples_used,
+        )
+
+    # -- trial-batched execution ---------------------------------------
+
+    def run_many(
+        self,
+        distribution: DiscreteDistribution,
+        trials: int,
+        rng: SeedLike = None,
+        batch: int = 4096,
+    ) -> np.ndarray:
+        """Accept verdicts of *trials* independent network executions.
+
+        Draws each batch of executions as a single ``(batch, total_s)``
+        sample matrix and vectorises the per-node decisions: collision and
+        AND-of-m testers go through the sort-based collision kernel, grouped
+        by tester signature so heterogeneous (Section 4) networks with many
+        distinct sample counts still take a handful of numpy passes.
+        Unknown tester types and decision rules fall back to per-trial
+        object calls on the same samples, preserving bit-for-bit equality
+        with :meth:`run`.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean vector of length *trials*; ``True`` = network accepts.
+        """
+        if trials < 1:
+            raise ParameterError(f"trials must be >= 1, got {trials}")
+        if batch < 1:
+            raise ParameterError(f"batch must be >= 1, got {batch}")
+        gen = ensure_rng(rng)
+        groups, generic, offsets = self._decision_plan()
+        total_s = self.total_samples_per_trial
+        verdicts = np.empty(trials, dtype=bool)
+        pos = 0
+        while pos < trials:
+            m = min(batch, trials - pos)
+            matrix = distribution.sample(m * total_s, gen).reshape(m, total_s)
+            accepts = np.ones((m, self.k), dtype=bool)
+            for s, reps, nodes in groups:
+                cols = np.concatenate(
+                    [np.arange(offsets[i], offsets[i] + reps * s) for i in nodes]
+                )
+                sub = matrix[:, cols].reshape(m, len(nodes), reps, s)
+                collide = _last_axis_has_collision(sub)
+                # AND-of-m: a node rejects iff every repetition collided.
+                accepts[:, nodes] = ~collide.all(axis=2)
+            for i in generic:
+                tester = self.testers[i]
+                lo = offsets[i]
+                hi = lo + tester.samples_required
+                for t in range(m):
+                    accepts[t, i] = tester.decide(matrix[t, lo:hi])
+            verdicts[pos : pos + m] = self._rule_verdicts(accepts)
+            pos += m
+        return verdicts
+
+    def _decision_plan(self):
+        """Group nodes by vectorisable tester signature.
+
+        Returns ``(groups, generic, offsets)`` where each group is
+        ``(s, reps, node_index_array)`` — a plain collision tester is the
+        ``reps = 1`` case of AND-of-m — ``generic`` lists nodes whose tester
+        type has no kernel, and ``offsets[i]`` is node *i*'s first column in
+        the per-trial sample matrix.
+        """
+        offsets = np.zeros(self.k, dtype=np.int64)
+        by_signature = {}
+        generic: List[int] = []
+        col = 0
+        for i, tester in enumerate(self.testers):
+            offsets[i] = col
+            if tester is None:
+                continue
+            col += tester.samples_required
+            if isinstance(tester, CollisionGapTester):
+                by_signature.setdefault((tester.s, 1), []).append(i)
+            elif isinstance(tester, RepeatedAndTester) and isinstance(
+                tester.base, CollisionGapTester
+            ):
+                by_signature.setdefault((tester.base.s, tester.m), []).append(i)
+            else:
+                generic.append(i)
+        groups = [
+            (s, reps, np.asarray(nodes, dtype=np.int64))
+            for (s, reps), nodes in by_signature.items()
+        ]
+        return groups, generic, offsets
+
+    def _rule_verdicts(self, accepts: np.ndarray) -> np.ndarray:
+        """Vectorised decision rule over a ``(trials, k)`` accept matrix."""
+        rejections = (~accepts).sum(axis=1)
+        if isinstance(self.rule, AndRule):
+            return rejections == 0
+        if isinstance(self.rule, ThresholdRule):
+            if self.rule.threshold > accepts.shape[1]:
+                raise ParameterError(
+                    f"threshold {self.rule.threshold} exceeds network size "
+                    f"{accepts.shape[1]}"
+                )
+            return rejections < self.rule.threshold
+        if isinstance(self.rule, MajorityRule):
+            return accepts.sum(axis=1) * 2 > accepts.shape[1]
+        return np.fromiter(
+            (self.rule.decide(row) for row in accepts),
+            dtype=bool,
+            count=accepts.shape[0],
         )
 
 
@@ -119,10 +246,15 @@ def _rows_have_collision(matrix: np.ndarray) -> np.ndarray:
     """
     if matrix.ndim != 2:
         raise ParameterError(f"expected a 2-D sample matrix, got shape {matrix.shape}")
-    if matrix.shape[1] < 2:
-        return np.zeros(matrix.shape[0], dtype=bool)
-    ordered = np.sort(matrix, axis=1)
-    return (np.diff(ordered, axis=1) == 0).any(axis=1)
+    return _last_axis_has_collision(matrix)
+
+
+def _last_axis_has_collision(tensor: np.ndarray) -> np.ndarray:
+    """Collision flag along the last axis of an n-D sample tensor."""
+    if tensor.shape[-1] < 2:
+        return np.zeros(tensor.shape[:-1], dtype=bool)
+    ordered = np.sort(tensor, axis=-1)
+    return (np.diff(ordered, axis=-1) == 0).any(axis=-1)
 
 
 def collision_reject_flags(
@@ -162,20 +294,174 @@ def repeated_collision_reject_flags(
     return per_batch.all(axis=1)
 
 
+# ---------------------------------------------------------------------------
+# Trial-batched kernels: many whole-network executions per numpy call
+# ---------------------------------------------------------------------------
+
+
+def threshold_verdicts(
+    distribution: DiscreteDistribution,
+    k: int,
+    s: int,
+    threshold: int,
+    trials: int,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Accept verdicts of *trials* Theorem 1.2 network executions.
+
+    One ``(trials·k, s)`` sample matrix, one collision pass, one alarm
+    count per trial.  Bit-identical to *trials* sequential
+    :func:`collision_reject_flags` calls on the same generator.
+    """
+    if trials < 1:
+        raise ParameterError(f"trials must be >= 1, got {trials}")
+    if k < 1 or s < 1:
+        raise ParameterError(f"need k >= 1 and s >= 1, got {(k, s)}")
+    if not 1 <= threshold <= k:
+        raise ParameterError(f"threshold must be in [1, {k}], got {threshold}")
+    samples = distribution.sample_matrix(trials * k, s, rng)
+    alarms = _rows_have_collision(samples).reshape(trials, k).sum(axis=1)
+    return alarms < threshold
+
+
+def and_rule_verdicts(
+    distribution: DiscreteDistribution,
+    k: int,
+    m: int,
+    s: int,
+    trials: int,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Accept verdicts of *trials* Theorem 1.1 network executions.
+
+    Each trial: ``k`` nodes run AND-of-``m`` collision testers; the network
+    accepts iff no node rejects.  Bit-identical to *trials* sequential
+    :func:`repeated_collision_reject_flags` calls on the same generator.
+    """
+    if trials < 1:
+        raise ParameterError(f"trials must be >= 1, got {trials}")
+    if k < 1 or m < 1 or s < 1:
+        raise ParameterError(f"need k, m, s >= 1, got {(k, m, s)}")
+    samples = distribution.sample_matrix(trials * k * m, s, rng)
+    per_batch = _rows_have_collision(samples).reshape(trials, k, m)
+    node_rejects = per_batch.all(axis=2)
+    return ~node_rejects.any(axis=1)
+
+
+#: Element-count cap for one trial-batched sample matrix (~128 MiB of
+#: int64).  Batched experiments built on the kernels auto-size ``batch``
+#: so ``batch · k · m · s`` stays below this.
+MATRIX_ELEMENT_CAP = 1 << 24
+
+
+def auto_batch(elements_per_trial: int, cap: int = MATRIX_ELEMENT_CAP) -> int:
+    """Largest trial batch whose sample matrix stays under *cap* elements."""
+    if elements_per_trial < 1:
+        raise ParameterError(
+            f"elements_per_trial must be >= 1, got {elements_per_trial}"
+        )
+    return max(1, cap // elements_per_trial)
+
+
+# ---------------------------------------------------------------------------
+# Picklable batched-experiment adapters for the trial engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CollisionTrialKernel:
+    """Batched experiment: one ``A_δ`` node per trial; ``True`` = reject.
+
+    The E1 workload: ``(rng, count) -> collision flags of count trials``.
+    Its scalar counterpart (one ``sample(s)`` + collision check per call)
+    consumes the generator identically, so the engine's serial and batched
+    paths agree bit-for-bit.
+    """
+
+    distribution: DiscreteDistribution
+    s: int
+
+    def __call__(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return collision_reject_flags(self.distribution, count, self.s, rng)
+
+
+@dataclass(frozen=True)
+class ScalarCollisionTrial:
+    """Scalar twin of :class:`CollisionTrialKernel` (``rng -> bool``)."""
+
+    distribution: DiscreteDistribution
+    s: int
+
+    def __call__(self, rng: np.random.Generator) -> bool:
+        from repro.core.collision import has_collision
+
+        return bool(has_collision(self.distribution.sample(self.s, rng)))
+
+
+@dataclass(frozen=True)
+class ThresholdNetworkErrorKernel:
+    """Batched experiment: Theorem 1.2 network error flags.
+
+    ``True`` = the network verdict disagrees with ``is_uniform``.
+    """
+
+    distribution: DiscreteDistribution
+    k: int
+    s: int
+    threshold: int
+    is_uniform: bool
+
+    def __call__(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        accepted = threshold_verdicts(
+            self.distribution, self.k, self.s, self.threshold, count, rng
+        )
+        return accepted != self.is_uniform
+
+
+@dataclass(frozen=True)
+class AndNetworkErrorKernel:
+    """Batched experiment: Theorem 1.1 network error flags."""
+
+    distribution: DiscreteDistribution
+    k: int
+    m: int
+    s: int
+    is_uniform: bool
+
+    def __call__(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        accepted = and_rule_verdicts(
+            self.distribution, self.k, self.m, self.s, count, rng
+        )
+        return accepted != self.is_uniform
+
+
 def estimate_rejection_probability(
     distribution: DiscreteDistribution,
     s: int,
     trials: int,
     rng: SeedLike = None,
     batch: int = 4096,
+    workers: int = 1,
 ) -> float:
     """Monte-Carlo estimate of ``Pr[A_δ rejects]`` on *distribution*.
 
     Runs the single-collision tester *trials* times in vectorised batches.
-    Used by the E1 benchmark and the empirical sample-complexity search.
+    Seed-like ``rng`` (``None`` or ``int``) routes through the trial engine
+    — chunk-keyed streams, reproducible for any ``batch``/``workers`` — and
+    supports multi-process execution.  A ``Generator`` parent falls back to
+    sequential single-stream batching (legacy behaviour).  Used by the E1
+    benchmark and the empirical sample-complexity search.
     """
     if trials < 1:
         raise ParameterError(f"trials must be >= 1, got {trials}")
+    if rng is None or isinstance(rng, (int, np.integer)):
+        from repro.experiments.runner import TrialRunner
+
+        kernel = CollisionTrialKernel(distribution, s)
+        est = TrialRunner(base_seed=0 if rng is None else int(rng)).error_rate_batched(
+            kernel, trials, "rejection", s, batch=batch, workers=workers
+        )
+        return est.rate
     gen = ensure_rng(rng)
     rejected = 0
     remaining = trials

@@ -13,6 +13,7 @@ a *full* ``√k`` saving over the single-node cost, versus the AND rule's
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -22,8 +23,11 @@ from repro.exceptions import ParameterError
 from repro.rng import SeedLike, ensure_rng
 from repro.zeroround.decision import ThresholdRule
 from repro.zeroround.network import (
+    ThresholdNetworkErrorKernel,
     ZeroRoundNetwork,
+    auto_batch,
     collision_reject_flags,
+    threshold_verdicts,
 )
 
 
@@ -74,20 +78,63 @@ class ThresholdNetworkTester:
         """One network execution; ``True`` = network says uniform."""
         return self.rejection_count(distribution, rng) < self.params.threshold
 
+    def test_many(
+        self,
+        distribution: DiscreteDistribution,
+        trials: int,
+        rng: SeedLike = None,
+        batch: Optional[int] = None,
+    ) -> np.ndarray:
+        """Accept verdicts of *trials* network executions, trial-batched.
+
+        Bit-identical to *trials* sequential :meth:`test` calls on the same
+        generator; the batch size is auto-capped so one sample matrix stays
+        within the kernel memory budget.
+        """
+        p = self.params
+        if batch is None:
+            batch = auto_batch(p.k * p.s)
+        gen = ensure_rng(rng)
+        out = np.empty(trials, dtype=bool)
+        pos = 0
+        while pos < trials:
+            m = min(batch, trials - pos)
+            out[pos : pos + m] = threshold_verdicts(
+                distribution, p.k, p.s, p.threshold, m, gen
+            )
+            pos += m
+        return out
+
     def estimate_error(
         self,
         distribution: DiscreteDistribution,
         is_uniform: bool,
         trials: int,
         rng: SeedLike = None,
+        batch: Optional[int] = None,
+        workers: int = 1,
     ) -> float:
-        """Monte-Carlo error rate over *trials* network executions."""
+        """Monte-Carlo error rate over *trials* network executions.
+
+        Seed-like ``rng`` routes through the batched trial engine
+        (reproducible for any ``batch``/``workers``); a ``Generator``
+        parent falls back to the sequential single-stream path.
+        """
         if trials < 1:
             raise ParameterError(f"trials must be >= 1, got {trials}")
+        p = self.params
+        if batch is None:
+            batch = auto_batch(p.k * p.s)
+        if rng is None or isinstance(rng, (int, np.integer)):
+            from repro.experiments.runner import TrialRunner
+
+            kernel = ThresholdNetworkErrorKernel(
+                distribution, p.k, p.s, p.threshold, is_uniform
+            )
+            est = TrialRunner(base_seed=0 if rng is None else int(rng)).error_rate_batched(
+                kernel, trials, "threshold_rule", p.k, batch=batch, workers=workers
+            )
+            return est.rate
         gen = ensure_rng(rng)
-        errors = 0
-        for _ in range(trials):
-            accepted = self.test(distribution, gen)
-            if accepted != is_uniform:
-                errors += 1
+        errors = int((self.test_many(distribution, trials, gen, batch) != is_uniform).sum())
         return errors / trials

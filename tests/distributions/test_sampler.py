@@ -58,3 +58,19 @@ class TestCountingOracle:
 
     def test_unlimited_budget_is_none(self):
         assert CountingOracle(uniform(30)).remaining_budget is None
+
+    def test_failed_draw_leaves_count_untouched(self):
+        """Regression: the counter used to increment *before* delegating,
+        so a failing draw corrupted the sample accounting."""
+        oracle = CountingOracle(uniform(30), rng=0)
+        with pytest.raises(ValueError):
+            oracle.draw(-1)
+        assert oracle.samples_drawn == 0
+        assert oracle.total_cost == 0.0
+
+    def test_rejected_budget_draw_leaves_count_untouched(self):
+        oracle = CountingOracle(uniform(30), rng=0, budget=5)
+        oracle.draw(3)
+        with pytest.raises(RuntimeError):
+            oracle.draw(4)
+        assert oracle.samples_drawn == 3

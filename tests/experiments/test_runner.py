@@ -1,12 +1,19 @@
-"""Tests for the seeded trial runner."""
+"""Tests for the seeded trial runner and its batched/parallel engine."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from repro.distributions import uniform
 from repro.exceptions import ParameterError
-from repro.experiments import TrialRunner, estimate_probability
+from repro.experiments import (
+    TRIAL_CHUNK,
+    TrialRunner,
+    estimate_probability,
+    estimate_probability_batched,
+)
+from repro.zeroround import CollisionTrialKernel, ScalarCollisionTrial
 
 
 class TestTrialRunner:
@@ -42,3 +49,89 @@ class TestEstimateProbability:
     def test_convenience_wrapper(self):
         est = estimate_probability(lambda rng: bool(rng.random() < 0.1), 1000, seed=1)
         assert est.rate == pytest.approx(0.1, abs=0.04)
+
+
+# Module-level so the process-pool path can pickle them.
+_DIST = uniform(400)
+_SCALAR = ScalarCollisionTrial(_DIST, 9)
+_KERNEL = CollisionTrialKernel(_DIST, 9)
+
+
+def _batched_coin(rng, count):
+    return rng.random(count) < 0.3
+
+
+def _scalar_coin(rng):
+    return bool(rng.random() < 0.3)
+
+
+class TestBatchedEngine:
+    """The reproducibility contract: serial, batched, and parallel paths
+    must agree bit for bit, for any batch size and worker count, because
+    every TRIAL_CHUNK-sized chunk re-derives its generator from
+    ``(base_seed, *labels, chunk_index)``."""
+
+    TRIALS = 2 * TRIAL_CHUNK + 257  # exercises a partial final chunk
+
+    def test_scalar_vs_batched_bit_identical(self):
+        runner = TrialRunner(base_seed=5)
+        serial = runner.run_flags(_SCALAR, self.TRIALS, "cfg", 1)
+        batched = runner.run_flags_batched(_KERNEL, self.TRIALS, "cfg", 1)
+        assert np.array_equal(serial, batched)
+
+    def test_batch_size_invariance(self):
+        runner = TrialRunner(base_seed=5)
+        reference = runner.run_flags_batched(_KERNEL, self.TRIALS, "cfg", 1)
+        for batch in (1, 7, 64, TRIAL_CHUNK, 5 * TRIAL_CHUNK):
+            flags = runner.run_flags_batched(
+                _KERNEL, self.TRIALS, "cfg", 1, batch=batch
+            )
+            assert np.array_equal(reference, flags), f"batch={batch}"
+
+    def test_worker_count_invariance(self):
+        runner = TrialRunner(base_seed=5)
+        reference = runner.run_flags_batched(_KERNEL, self.TRIALS, "cfg", 1)
+        parallel = runner.run_flags_batched(
+            _KERNEL, self.TRIALS, "cfg", 1, workers=2
+        )
+        assert np.array_equal(reference, parallel)
+
+    def test_scalar_parallel_matches_serial(self):
+        runner = TrialRunner(base_seed=8)
+        serial = runner.run_flags(_SCALAR, self.TRIALS, "w")
+        parallel = runner.run_flags(_SCALAR, self.TRIALS, "w", workers=2)
+        assert np.array_equal(serial, parallel)
+
+    def test_error_rate_batched_matches_scalar_rate(self):
+        runner = TrialRunner(base_seed=3)
+        scalar = runner.error_rate(_scalar_coin, 600, "coin")
+        batched = runner.error_rate_batched(_batched_coin, 600, "coin")
+        assert scalar.failures == batched.failures
+        assert scalar.rate == batched.rate
+
+    def test_flags_dtype_and_shape(self):
+        flags = TrialRunner(base_seed=0).run_flags_batched(
+            _batched_coin, 130, "shape", batch=32
+        )
+        assert flags.shape == (130,) and flags.dtype == bool
+
+    def test_bad_experiment_output_rejected(self):
+        def wrong_shape(rng, count):
+            return rng.random(count + 1) < 0.5
+
+        with pytest.raises(ParameterError):
+            TrialRunner(base_seed=0).run_flags_batched(wrong_shape, 10, "bad")
+
+    def test_validation(self):
+        runner = TrialRunner(base_seed=0)
+        with pytest.raises(ParameterError):
+            runner.run_flags_batched(_batched_coin, 0, "x")
+        with pytest.raises(ParameterError):
+            runner.run_flags_batched(_batched_coin, 10, "x", batch=0)
+        with pytest.raises(ParameterError):
+            runner.run_flags_batched(_batched_coin, 10, "x", workers=0)
+
+    def test_estimate_probability_batched_wrapper(self):
+        scalar = estimate_probability(_scalar_coin, 800, seed=2)
+        batched = estimate_probability_batched(_batched_coin, 800, seed=2)
+        assert scalar.failures == batched.failures

@@ -8,12 +8,17 @@ import pytest
 from repro.core import CollisionGapTester, RepeatedAndTester
 from repro.distributions import far_family, uniform
 from repro.exceptions import ParameterError
+from repro.rng import ensure_rng
 from repro.zeroround import (
     AndRule,
+    MajorityRule,
     ThresholdRule,
     ZeroRoundNetwork,
+    and_rule_verdicts,
+    auto_batch,
     collision_reject_flags,
     repeated_collision_reject_flags,
+    threshold_verdicts,
 )
 from repro.zeroround.network import estimate_rejection_probability
 
@@ -75,6 +80,105 @@ class TestVectorisedKernels:
             collision_reject_flags(uniform(10), k=0, s=5)
         with pytest.raises(ParameterError):
             repeated_collision_reject_flags(uniform(10), k=5, m=0, s=5)
+
+
+class TestRunMany:
+    """run_many must be bit-identical to a loop of run() calls sharing one
+    generator — including on heterogeneous Section-4 networks."""
+
+    def _heterogeneous_net(self):
+        return ZeroRoundNetwork(
+            testers=[
+                CollisionGapTester(n=400, s=6),
+                None,
+                RepeatedAndTester(CollisionGapTester(n=400, s=4), m=2),
+                CollisionGapTester(n=400, s=9),
+            ],
+            rule=ThresholdRule(2),
+        )
+
+    def test_matches_looped_run_bitwise(self):
+        net = self._heterogeneous_net()
+        dist = uniform(400)
+        looped_gen = ensure_rng(3)
+        looped = np.array(
+            [net.run(dist, looped_gen).accepted for _ in range(300)]
+        )
+        many = net.run_many(dist, 300, ensure_rng(3), batch=64)
+        assert np.array_equal(looped, many)
+
+    def test_batch_invariance(self):
+        net = self._heterogeneous_net()
+        dist = uniform(400)
+        reference = net.run_many(dist, 200, ensure_rng(7), batch=200)
+        for batch in (1, 13, 4096):
+            verdicts = net.run_many(dist, 200, ensure_rng(7), batch=batch)
+            assert np.array_equal(reference, verdicts), f"batch={batch}"
+
+    def test_homogeneous_and_rule(self):
+        tester = CollisionGapTester(n=300, s=7)
+        net = ZeroRoundNetwork(testers=[tester] * 5, rule=AndRule())
+        dist = uniform(300)
+        looped_gen = ensure_rng(11)
+        looped = np.array([net.run(dist, looped_gen).accepted for _ in range(150)])
+        many = net.run_many(dist, 150, ensure_rng(11))
+        assert np.array_equal(looped, many)
+
+    def test_majority_rule_generic_path(self):
+        tester = CollisionGapTester(n=300, s=7)
+        net = ZeroRoundNetwork(testers=[tester] * 5, rule=MajorityRule())
+        dist = uniform(300)
+        looped_gen = ensure_rng(13)
+        looped = np.array([net.run(dist, looped_gen).accepted for _ in range(100)])
+        many = net.run_many(dist, 100, ensure_rng(13))
+        assert np.array_equal(looped, many)
+
+    def test_trials_validated(self):
+        with pytest.raises(ParameterError):
+            self._heterogeneous_net().run_many(uniform(400), 0)
+
+
+class TestTrialBatchedKernels:
+    """The network kernels must be bit-identical to sequential single-trial
+    flat-kernel calls on a shared generator."""
+
+    def test_threshold_verdicts_match_sequential(self):
+        dist, k, s, threshold, trials = uniform(250), 40, 8, 5, 60
+        gen = ensure_rng(2)
+        sequential = np.array([
+            int(collision_reject_flags(dist, k, s, gen).sum()) < threshold
+            for _ in range(trials)
+        ])
+        batched = threshold_verdicts(dist, k, s, threshold, trials, rng=2)
+        assert np.array_equal(sequential, batched)
+
+    def test_and_rule_verdicts_match_sequential(self):
+        dist, k, m, s, trials = uniform(250), 30, 2, 6, 60
+        gen = ensure_rng(4)
+        sequential = np.array([
+            not repeated_collision_reject_flags(dist, k, m, s, gen).any()
+            for _ in range(trials)
+        ])
+        batched = and_rule_verdicts(dist, k, m, s, trials, rng=4)
+        assert np.array_equal(sequential, batched)
+
+    def test_kernel_validation(self):
+        with pytest.raises(ParameterError):
+            threshold_verdicts(uniform(10), k=5, s=3, threshold=2, trials=0)
+        with pytest.raises(ParameterError):
+            and_rule_verdicts(uniform(10), k=0, m=1, s=3, trials=5)
+
+
+class TestAutoBatch:
+    def test_caps_by_memory(self):
+        assert auto_batch(1 << 20, cap=1 << 24) == 16
+
+    def test_at_least_one(self):
+        assert auto_batch(1 << 30, cap=1 << 24) == 1
+
+    def test_validates(self):
+        with pytest.raises(ParameterError):
+            auto_batch(0)
 
 
 class TestEstimateRejectionProbability:
