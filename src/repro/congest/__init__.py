@@ -16,8 +16,12 @@ Two layers:
 from repro.congest.token_packaging import (
     PackagingOutcome,
     TokenPackagingProgram,
+    WarmStart,
+    WarmStartCheck,
     run_token_packaging,
     verify_packaging,
+    verify_warm_start,
+    warm_start_views,
 )
 from repro.congest.tester import (
     CongestParameters,
@@ -28,8 +32,12 @@ from repro.congest.tester import (
 __all__ = [
     "TokenPackagingProgram",
     "PackagingOutcome",
+    "WarmStart",
+    "WarmStartCheck",
     "run_token_packaging",
     "verify_packaging",
+    "verify_warm_start",
+    "warm_start_views",
     "CongestParameters",
     "CongestUniformityTester",
     "congest_parameters",

@@ -16,11 +16,16 @@ Implemented in log space via ``lgamma`` — no scipy dependency, stable for
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import ParameterError
+
+# Vectorised lgamma, built once: np.vectorize construction is pure overhead
+# when repeated per call on the threshold-solver hot path.
+_lgamma = np.vectorize(math.lgamma, otypes=[np.float64])
 
 
 def _check_np(n: int, p: float) -> None:
@@ -45,8 +50,7 @@ def binom_logpmf(t: np.ndarray, n: int, p: float) -> np.ndarray:
         return out
     if tv.size == 0:
         return out
-    lgamma = np.vectorize(math.lgamma, otypes=[np.float64])
-    log_comb = lgamma(n + 1.0) - lgamma(tv + 1.0) - lgamma(n - tv + 1.0)
+    log_comb = _lgamma(n + 1.0) - _lgamma(tv + 1.0) - _lgamma(n - tv + 1.0)
     out[valid] = log_comb + tv * math.log(p) + (n - tv) * math.log1p(-p)
     return out
 
@@ -98,6 +102,7 @@ def binom_cdf(t: int, n: int, p: float) -> float:
     return float(min(1.0, math.exp(peak) * np.exp(logs - peak).sum()))
 
 
+@lru_cache(maxsize=4096)
 def find_separating_threshold(
     trials: int, p_low: float, p_high: float, error: float
 ) -> Optional[int]:
@@ -111,6 +116,11 @@ def find_separating_threshold(
     by ``Bin(ℓ, p_low)`` and under a far distribution dominates
     ``Bin(ℓ, p_high)`` — with the threshold placed mid-window rather than
     at the feasibility edge, so neither error side sits at its budget.
+
+    ``lru_cache``d: the τ solver and the CONGEST root's per-trial
+    threshold placement hit the same ``(ℓ, p_low, p_high, error)`` points
+    over and over (a pure function of scalars, so caching is free of
+    aliasing concerns).
     """
     if trials < 1:
         raise ParameterError(f"trials must be >= 1, got {trials}")

@@ -36,6 +36,77 @@ _CLAIM = "claim"
 _ROUTE = "route"
 
 
+@dataclass(frozen=True)
+class GatherWarmStart:
+    """Precomputed CLAIM-fixpoint state for one node.
+
+    ``owner``/``dist`` are the node's final lexicographic
+    ``(distance, owner-ID)`` label; ``route_parent`` the neighbour the
+    protocol would have first heard it from.  A warm-started
+    :class:`GatherProgram` skips the CLAIM wave and routes immediately.
+    """
+
+    owner: Optional[int]
+    dist: Optional[int]
+    route_parent: Optional[int]
+
+
+def _claim_fixpoint(
+    topology: Topology, mis: Sequence[bool], radius: int
+) -> List[GatherWarmStart]:
+    """The CLAIM wave's fixpoint, computed structurally.
+
+    Multi-source layered BFS from the MIS nodes: a node at layer ``d``
+    takes the smallest owner ID among its layer-``d−1`` neighbours (the
+    lexicographic ``(dist, owner)`` minimum — the same relaxation as
+    :func:`repro.localmodel.gather.assign_catchments`).  The route parent
+    is the *smallest-ID* neighbour holding the label ``(d−1, owner)`` —
+    under the engine's sender-sorted delivery order, that is exactly the
+    neighbour whose announcement the protocol node adopts.  Labels stop
+    propagating at distance ``radius``, matching the protocol's
+    ``dist < radius`` re-announce gate.
+    """
+    k = topology.k
+    dist: List[Optional[int]] = [None] * k
+    owner: List[Optional[int]] = [None] * k
+    frontier: List[int] = []
+    for v in range(k):
+        if mis[v]:
+            dist[v] = 0
+            owner[v] = v
+            frontier.append(v)
+    d = 0
+    while frontier and d < radius:
+        d += 1
+        candidates: Dict[int, int] = {}
+        for u in frontier:
+            ou = owner[u]
+            for w in topology.neighbors(u):
+                if owner[w] is None:
+                    prev = candidates.get(w)
+                    if prev is None or ou < prev:
+                        candidates[w] = ou
+        frontier = []
+        for w, o in candidates.items():
+            dist[w] = d
+            owner[w] = o
+            frontier.append(w)
+    views: List[GatherWarmStart] = []
+    for v in range(k):
+        parent: Optional[int] = None
+        if owner[v] is not None and dist[v] is not None and dist[v] > 0:
+            target_d, target_o = dist[v] - 1, owner[v]
+            parent = min(
+                u
+                for u in topology.neighbors(v)
+                if dist[u] == target_d and owner[u] == target_o
+            )
+        views.append(
+            GatherWarmStart(owner=owner[v], dist=dist[v], route_parent=parent)
+        )
+    return views
+
+
 class GatherProgram(NodeProgram):
     """Per-node program for the CLAIM + ROUTE phases.
 
@@ -49,12 +120,22 @@ class GatherProgram(NodeProgram):
         The node's own sample (its payload for the ROUTE phase).
     radius:
         The gathering radius ``r``; ROUTE runs exactly ``r`` rounds.
+    warm_start:
+        Optional precomputed CLAIM fixpoint (:class:`GatherWarmStart`);
+        when given, the program starts routing at round 0.
 
     Output: ``(owner, collected)`` — the owner this node routed to, and
     (for MIS nodes) the tuple of ``(origin, sample)`` pairs received.
     """
 
-    def __init__(self, node_id: int, is_mis: bool, sample: int, radius: int) -> None:
+    def __init__(
+        self,
+        node_id: int,
+        is_mis: bool,
+        sample: int,
+        radius: int,
+        warm_start: Optional[GatherWarmStart] = None,
+    ) -> None:
         if radius < 1:
             raise ParameterError(f"radius must be >= 1, got {radius}")
         self.node_id = node_id
@@ -70,6 +151,12 @@ class GatherProgram(NodeProgram):
         self.route_end: Optional[int] = None
         self.bundle: List[Tuple[int, int]] = [(node_id, sample)]
         self.collected: List[Tuple[int, int]] = []
+        self._warm_start = warm_start
+        if warm_start is not None:
+            self.dist = warm_start.dist
+            self.owner = warm_start.owner
+            self.route_parent = warm_start.route_parent
+            self.phase = _ROUTE
 
     def _label(self) -> Tuple[int, int]:
         assert self.dist is not None and self.owner is not None
@@ -79,6 +166,18 @@ class GatherProgram(NodeProgram):
         ctx.broadcast(self._label(), bits=64, tag=_CLAIM)
 
     def on_start(self, ctx: Context) -> None:
+        if self._warm_start is not None:
+            # CLAIM fixpoint preloaded: start routing immediately, with the
+            # same round-relative dynamics as the cold run's ROUTE entry.
+            if self.owner is None:
+                raise SimulationError(
+                    f"node {self.node_id} has no MIS owner within r="
+                    f"{self.radius}: the MIS is not maximal on G^r"
+                )
+            self.route_end = ctx.round + self.radius
+            self._forward(ctx)
+            ctx.request_wakeup(self.route_end)
+            return
         if self.is_mis:
             self._announce(ctx)
 
@@ -111,7 +210,9 @@ class GatherProgram(NodeProgram):
             self.phase = _ROUTE
             self.route_end = ctx.round + self.radius
             self._forward(ctx)
-            ctx.request_wakeup(ctx.round + 1)
+            # Forwarding empties the bundle; incoming bundles arrive as mail
+            # (which wakes the node), so only the phase-end wake is needed.
+            ctx.request_wakeup(self.route_end)
 
     def _forward(self, ctx: Context) -> None:
         if self.is_mis:
@@ -137,7 +238,7 @@ class GatherProgram(NodeProgram):
         assert self.route_end is not None
         if ctx.round < self.route_end:
             self._forward(ctx)
-            ctx.request_wakeup(ctx.round + 1)
+            ctx.request_wakeup(self.route_end)
             return
         self._forward(ctx)
         if not self.is_mis and self.bundle:
@@ -164,10 +265,14 @@ def run_gather_protocol(
     samples: Sequence[int],
     radius: int,
     rng: SeedLike = None,
+    warm_start: bool = False,
 ) -> ProtocolGatherResult:
     """Execute CLAIM + ROUTE over *topology* and return who got what.
 
     LOCAL model: no bandwidth cap (bundles carry many samples).
+    ``warm_start=True`` preloads the CLAIM fixpoint (structurally
+    computed) and runs only the ROUTE phase; assignments are identical
+    (tested), but ``rounds`` then excludes the claim wave.
     """
     if len(mis) != topology.k or len(samples) != topology.k:
         raise ParameterError("mis and samples must cover every node")
@@ -175,16 +280,18 @@ def run_gather_protocol(
         topology,
         bandwidth_bits=None,
         max_rounds=50 * (radius + topology.diameter_upper_bound() + 10),
+        deadlock_quiet_rounds=radius + 6,
     )
-    from repro.congest.token_packaging import _run_with_deadlock_margin
-
-    report = _run_with_deadlock_margin(
-        engine,
+    views = _claim_fixpoint(topology, mis, radius) if warm_start else None
+    report = engine.run(
         lambda v: GatherProgram(
-            node_id=v, is_mis=bool(mis[v]), sample=int(samples[v]), radius=radius
+            node_id=v,
+            is_mis=bool(mis[v]),
+            sample=int(samples[v]),
+            radius=radius,
+            warm_start=None if views is None else views[v],
         ),
         rng,
-        radius + 6,
     )
     owners = tuple(out[0] for out in report.outputs)
     samples_at = {

@@ -11,7 +11,9 @@ Four helpers cover the common needs:
 - :func:`spawn` derives ``count`` statistically independent child generators
   from a parent via ``SeedSequence`` spawning (the collision-safe numpy
   idiom), used to give each simulated network node its own private coins
-  (the paper's protocols are all *private coin*).
+  (the paper's protocols are all *private coin*).  :func:`spawn_lazy` is the
+  deferred form the simulator uses: same streams, but each child generator
+  is only materialised if its node actually draws randomness.
 - :func:`derive` derives a generator keyed by ``(seed, *labels)`` — the
   stable per-configuration streams the experiment harness is built on.
 - :func:`derive_many` is the vectorised form of :func:`derive` over a run of
@@ -30,7 +32,7 @@ Example
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -95,6 +97,78 @@ def spawn(rng: np.random.Generator, count: int) -> List[np.random.Generator]:
         # legacy 63-bit integer seeding, still deterministic per parent state.
         seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
         return [np.random.default_rng(int(s)) for s in seeds]
+
+
+class _LazySpawn:
+    """Shared deferred spawn state behind :func:`spawn_lazy`.
+
+    Nothing is derived until the first ``get``; that call spawns all
+    ``count`` child seed sequences at once (so the assignment of stream to
+    index is deterministic no matter which index asks first), and each
+    index's ``Generator`` is then built on demand.
+    """
+
+    __slots__ = ("_rng", "_count", "_sources")
+
+    def __init__(self, rng: np.random.Generator, count: int) -> None:
+        self._rng = rng
+        self._count = count
+        self._sources: Optional[list] = None
+
+    def get(self, index: int) -> np.random.Generator:
+        sources = self._sources
+        if sources is None:
+            rng = self._rng
+            try:
+                bitgen = rng.bit_generator
+                cls = type(bitgen)
+                sources = [(cls, ss) for ss in bitgen.seed_seq.spawn(self._count)]
+            except (AttributeError, TypeError, ValueError):
+                # No spawnable seed sequence: eager legacy fallback.
+                sources = [(None, g) for g in spawn(rng, self._count)]
+            self._sources = sources
+            self._rng = None  # the parent is no longer needed; drop the ref
+        cls, src = sources[index]
+        if cls is None:
+            return src
+        return np.random.Generator(cls(src))
+
+
+def spawn_lazy(
+    rng: np.random.Generator, count: int
+) -> List[Callable[[], np.random.Generator]]:
+    """Fully deferred :func:`spawn`: derive nothing until a factory is called.
+
+    Calling factory ``i`` yields a generator bit-identical to
+    ``spawn(rng, count)[i]`` evaluated at the first access (all ``count``
+    child seed sequences spawn together then, so stream-to-node assignment
+    does not depend on access order).  The simulator hands every node a
+    private-coin factory this way: when a protocol never flips a coin — the
+    common case — the run pays nothing for node randomness.
+
+    Unlike :func:`spawn`, the parent's spawn counter only advances if some
+    factory is actually invoked; callers that interleave spawn-based and
+    lazy derivations on one parent generator should not rely on unused lazy
+    spawns reserving streams.
+
+    Parameters
+    ----------
+    rng:
+        Parent generator.
+    count:
+        Number of children; must be non-negative.
+
+    Returns
+    -------
+    list of zero-argument callables, each returning a fresh ``Generator``
+    (one per call; callers should memoise if they need a stable stream).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if count == 0:
+        return []
+    holder = _LazySpawn(rng, count)
+    return [(lambda i=i: holder.get(i)) for i in range(count)]
 
 
 def derive(rng_or_seed: SeedLike, *labels: Union[str, int]) -> np.random.Generator:

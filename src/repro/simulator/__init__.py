@@ -16,8 +16,13 @@ round-complexity bounds become empirical observables:
   (leader election + BFS tree), convergecast aggregation, broadcast.
 """
 
-from repro.simulator.engine import EngineReport, RoundStats, SynchronousEngine
-from repro.simulator.graph import Topology
+from repro.simulator.engine import (
+    DEFAULT_DEADLOCK_QUIET_ROUNDS,
+    EngineReport,
+    RoundStats,
+    SynchronousEngine,
+)
+from repro.simulator.graph import Topology, TreeSchedule
 from repro.simulator.message import Message, bits_for_domain, bits_for_int
 from repro.simulator.node import Context, NodeProgram
 from repro.simulator.primitives import (
@@ -28,6 +33,8 @@ from repro.simulator.primitives import (
 
 __all__ = [
     "Topology",
+    "TreeSchedule",
+    "DEFAULT_DEADLOCK_QUIET_ROUNDS",
     "Message",
     "bits_for_domain",
     "bits_for_int",

@@ -15,23 +15,32 @@ model allows one message per directed edge per round.
 The engine's :class:`EngineReport` carries the measured quantities the
 benchmarks compare with the theorems: total rounds, message count, total
 bits, and the maximum bits ever sent over a single edge in a round.
+
+The inner loop is written for throughput: per-node inboxes are
+preallocated once and recycled across rounds (no per-round dict churn),
+the live-node ordering is maintained incrementally instead of re-sorted
+every round, and per-round message/bit totals are computed once during
+delivery and shared between the report totals and the optional trace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.exceptions import BandwidthExceededError, SimulationError
-from repro.rng import SeedLike, ensure_rng, spawn
+from repro.rng import SeedLike, ensure_rng, spawn_lazy
 from repro.simulator.graph import Topology
 from repro.simulator.message import Message
 from repro.simulator.node import Context, NodeProgram
 
-#: After this many consecutive globally-silent rounds with live nodes, the
-#: engine declares the protocol deadlocked.  Phase-advancing protocols act
-#: on the first or second quiet round; three in a row means nobody ever will.
-_DEADLOCK_QUIET_ROUNDS = 3
+#: Default number of consecutive globally-silent rounds with live nodes
+#: after which the engine declares the protocol deadlocked.  Phase-advancing
+#: protocols act on the first or second quiet round; three in a row means
+#: nobody ever will.  Protocols with longer intentional silences (e.g. the
+#: token-forwarding phase, quiet for up to ``τ`` rounds) pass a larger
+#: ``deadlock_quiet_rounds`` to the engine constructor.
+DEFAULT_DEADLOCK_QUIET_ROUNDS = 3
 
 
 @dataclass(frozen=True)
@@ -94,6 +103,14 @@ class SynchronousEngine:
         (unbounded messages).
     max_rounds:
         Hard stop; exceeding it returns a report with ``halted=False``.
+    record_trace:
+        Record per-round :class:`RoundStats` in the report.
+    deadlock_quiet_rounds:
+        Consecutive globally-silent rounds (with live nodes) tolerated
+        before raising :class:`~repro.exceptions.SimulationError`.
+        Protocols with timer-driven silent stretches (token forwarding,
+        bounded-radius gather) should pass their longest legal silence
+        plus slack.
     """
 
     def __init__(
@@ -102,6 +119,7 @@ class SynchronousEngine:
         bandwidth_bits: Optional[int] = None,
         max_rounds: int = 1_000_000,
         record_trace: bool = False,
+        deadlock_quiet_rounds: int = DEFAULT_DEADLOCK_QUIET_ROUNDS,
     ) -> None:
         if bandwidth_bits is not None and bandwidth_bits < 1:
             raise SimulationError(
@@ -109,10 +127,15 @@ class SynchronousEngine:
             )
         if max_rounds < 1:
             raise SimulationError(f"max_rounds must be >= 1, got {max_rounds}")
+        if deadlock_quiet_rounds < 1:
+            raise SimulationError(
+                f"deadlock_quiet_rounds must be >= 1, got {deadlock_quiet_rounds}"
+            )
         self.topology = topology
         self.bandwidth_bits = bandwidth_bits
         self.max_rounds = max_rounds
         self.record_trace = record_trace
+        self.deadlock_quiet_rounds = deadlock_quiet_rounds
 
     def run(
         self,
@@ -127,31 +150,45 @@ class SynchronousEngine:
             Called once per node ID to create that node's program instance.
         rng:
             Seed or generator; each node receives an independent child
-            generator (private coins).
+            generator (private coins), materialised lazily on first use.
         """
         topo = self.topology
+        k = topo.k
         gen = ensure_rng(rng)
-        node_rngs = spawn(gen, topo.k)
-        programs = [program_factory(v) for v in range(topo.k)]
+        rng_factories = spawn_lazy(gen, k)
+        programs = [program_factory(v) for v in range(k)]
         contexts = [
-            Context(node_id=v, neighbors=topo.neighbors(v), rng=node_rngs[v])
-            for v in range(topo.k)
+            Context(
+                node_id=v,
+                neighbors=topo.neighbors(v),
+                rng_factory=rng_factories[v],
+            )
+            for v in range(k)
         ]
 
-        live: set = set(range(topo.k))
+        alive = [True] * k
+        live_count = k
+        # Sorted snapshot of the live nodes; compacted lazily when nodes
+        # have halted since the last quiet-round sweep.
+        live_order = list(range(k))
+        live_stale = False
         pending_wakes: Dict[int, List[int]] = {}
 
-        def note_halt_and_wake(v: int) -> None:
+        for v, prog in enumerate(programs):
             ctx = contexts[v]
-            if ctx.halted:
-                live.discard(v)
+            prog.on_start(ctx)
+            if ctx._halted:
+                alive[v] = False
+                live_count -= 1
+                live_stale = True
             elif ctx._wake_at is not None:
                 pending_wakes.setdefault(ctx._wake_at, []).append(v)
+        in_flight = self._collect(contexts, range(k))
 
-        for v, prog in enumerate(programs):
-            prog.on_start(contexts[v])
-            note_halt_and_wake(v)
-        in_flight = self._collect(contexts)
+        # Recycled per-node inboxes: `touched` lists the nodes whose inbox
+        # is non-empty this round (appended exactly once, on first message).
+        inboxes: List[List[Message]] = [[] for _ in range(k)]
+        touched: List[int] = []
 
         rounds = 0
         messages = 0
@@ -159,9 +196,12 @@ class SynchronousEngine:
         max_edge_bits = 0
         quiet_streak = 0
         trace: List[RoundStats] = []
+        record_trace = self.record_trace
+        deadlock_limit = self.deadlock_quiet_rounds
+        max_rounds = self.max_rounds
 
-        while rounds < self.max_rounds:
-            if not live and not in_flight:
+        while rounds < max_rounds:
+            if live_count == 0 and not in_flight:
                 return EngineReport(
                     rounds=rounds,
                     messages=messages,
@@ -172,50 +212,75 @@ class SynchronousEngine:
                     trace=trace,
                 )
             rounds += 1
-            inboxes: Dict[int, List[Message]] = {}
-            for msg in in_flight:
-                inboxes.setdefault(msg.dst, []).append(msg)
-                messages += 1
-                total_bits += msg.bits
-                max_edge_bits = max(max_edge_bits, msg.bits)
-            if in_flight:
+            round_messages = len(in_flight)
+            round_bits = 0
+            if round_messages:
+                for msg in in_flight:
+                    # Tuple indexing: msg[1] is .dst, msg[3] is .bits.
+                    box = inboxes[msg[1]]
+                    if not box:
+                        touched.append(msg[1])
+                    box.append(msg)
+                    bits = msg[3]
+                    round_bits += bits
+                    if bits > max_edge_bits:
+                        max_edge_bits = bits
+                messages += round_messages
+                total_bits += round_bits
                 quiet_streak = 0
             else:
                 quiet_streak += 1
-                if quiet_streak >= _DEADLOCK_QUIET_ROUNDS:
-                    sample = sorted(live)[:8]
+                if quiet_streak >= deadlock_limit:
+                    live_nodes = [v for v in range(k) if alive[v]]
+                    sample = live_nodes[:8]
                     raise SimulationError(
                         f"deadlock: {quiet_streak} silent rounds with live "
-                        f"nodes {sample}{'...' if len(live) > 8 else ''} "
+                        f"nodes {sample}{'...' if len(live_nodes) > 8 else ''} "
                         f"at round {rounds}"
                     )
             # Scheduling contract: a node runs when it has mail, after a
             # globally quiet round (phase transitions), or at a wakeup it
             # requested.  Anything else would be a spurious no-op call.
-            due = pending_wakes.pop(rounds, [])
+            due = pending_wakes.pop(rounds, None)
             if quiet_streak > 0:
-                active = sorted(live)
+                if live_stale:
+                    live_order = [v for v in live_order if alive[v]]
+                    live_stale = False
+                active = live_order
+            elif due:
+                due_set = set(touched)
+                due_set.update(due)
+                active = sorted(v for v in due_set if alive[v])
             else:
-                active = sorted(set(inboxes).union(due).intersection(live))
+                # `touched` holds unique dst IDs in delivery order.
+                active = sorted(v for v in touched if alive[v])
             for v in active:
                 ctx = contexts[v]
                 if ctx._wake_at is not None and ctx._wake_at <= rounds:
                     ctx._wake_at = None
                 ctx.round = rounds
                 ctx.quiet_rounds = quiet_streak
-                programs[v].on_round(ctx, inboxes.get(v, []))
-                note_halt_and_wake(v)
-            if self.record_trace:
+                programs[v].on_round(ctx, inboxes[v])
+                if ctx._halted:
+                    alive[v] = False
+                    live_count -= 1
+                    live_stale = True
+                elif ctx._wake_at is not None:
+                    pending_wakes.setdefault(ctx._wake_at, []).append(v)
+            if record_trace:
                 trace.append(
                     RoundStats(
                         round=rounds,
-                        messages=sum(len(ms) for ms in inboxes.values()),
-                        bits=sum(m.bits for ms in inboxes.values() for m in ms),
+                        messages=round_messages,
+                        bits=round_bits,
                         active_nodes=len(active),
                         quiet=quiet_streak > 0,
                     )
                 )
-            in_flight = self._collect([contexts[v] for v in active])
+            in_flight = self._collect(contexts, active)
+            for v in touched:
+                inboxes[v].clear()
+            touched.clear()
 
         return EngineReport(
             rounds=rounds,
@@ -227,17 +292,24 @@ class SynchronousEngine:
             trace=trace,
         )
 
-    def _collect(self, contexts: Sequence[Context]) -> List[Message]:
-        """Drain all outboxes, enforcing the CONGEST constraints."""
+    def _collect(
+        self, contexts: List[Context], order: Iterable[int]
+    ) -> List[Message]:
+        """Drain the outboxes of nodes in *order*, enforcing CONGEST limits."""
         out: List[Message] = []
-        for ctx in contexts:
-            seen_edges = set()
-            for msg in ctx._drain_outbox():
-                if self.bandwidth_bits is not None:
-                    if msg.bits > self.bandwidth_bits:
+        bandwidth = self.bandwidth_bits
+        for v in order:
+            ctx = contexts[v]
+            outbox = ctx._outbox
+            if not outbox:
+                continue
+            if bandwidth is not None:
+                seen_edges = set()
+                for msg in outbox:
+                    if msg.bits > bandwidth:
                         raise BandwidthExceededError(
                             f"node {msg.src} sent {msg.bits} bits to "
-                            f"{msg.dst} (budget {self.bandwidth_bits}) "
+                            f"{msg.dst} (budget {bandwidth}) "
                             f"[tag={msg.tag!r}]"
                         )
                     if msg.dst in seen_edges:
@@ -246,5 +318,6 @@ class SynchronousEngine:
                             f"in one round [tag={msg.tag!r}]"
                         )
                     seen_edges.add(msg.dst)
-                out.append(msg)
+            out.extend(outbox)
+            ctx._outbox = []
         return out

@@ -11,13 +11,98 @@ code never touches networkx objects.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
 
 from repro.exceptions import ParameterError
 from repro.rng import SeedLike, ensure_rng
+
+
+class TreeSchedule:
+    """The max-ID flooding fixpoint of a topology, precomputed.
+
+    The paper's token-packaging protocol (Section 5) first elects the
+    max-ID node as leader and builds a BFS tree by flooding.  Under the
+    engine's deterministic delivery order (messages arrive sorted by
+    sender ID), the elected tree is a pure function of the topology:
+
+    - the root is node ``k − 1`` (the maximum ID);
+    - ``dist(v)`` is the BFS hop distance from the root — node *v* first
+      hears the winning ID in round ``dist(v)`` and never improves on it;
+    - ``parent(v)`` is the *smallest-ID* neighbour of *v* at distance
+      ``dist(v) − 1`` — the first winning announcement in *v*'s inbox.
+
+    Warm-started protocol runs load this schedule instead of re-running
+    the FLOOD/CHILD/COUNT phases; ``verify_warm_start`` in
+    :mod:`repro.congest.token_packaging` cross-checks the equivalence
+    against the real protocol.
+
+    Instances are cheap to pickle (they ride along with the
+    :class:`Topology` into trial-runner worker processes).
+    """
+
+    __slots__ = ("root", "dist", "parent", "children", "height", "postorder",
+                 "_counts_cache", "aux")
+
+    def __init__(self, topology: "Topology") -> None:
+        k = topology.k
+        self.root: int = k - 1
+        dist = topology.bfs_distances(self.root)
+        self.dist: Tuple[int, ...] = tuple(int(d) for d in dist)
+        parent: List[Optional[int]] = [None] * k
+        children: List[List[int]] = [[] for _ in range(k)]
+        for v in range(k):
+            if v == self.root:
+                continue
+            target = self.dist[v] - 1
+            p = min(u for u in topology.neighbors(v) if self.dist[u] == target)
+            parent[v] = p
+            children[p].append(v)
+        self.parent: Tuple[Optional[int], ...] = tuple(parent)
+        self.children: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(ch)) for ch in children
+        )
+        self.height: int = max(self.dist)
+        # Bottom-up order (decreasing depth, then ID): children always
+        # precede their parent, so one pass computes convergecast values.
+        self.postorder: Tuple[int, ...] = tuple(
+            sorted(range(k), key=lambda v: (-self.dist[v], v))
+        )
+        self._counts_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        # Scratch cache for consumers deriving per-(τ, s) artefacts from
+        # the schedule (e.g. warm-start views); keyed by consumer.
+        self.aux: Dict[Any, Any] = {}
+
+    def token_counts(
+        self, tau: int, tokens_per_node: int = 1
+    ) -> Tuple[int, ...]:
+        """Per-node convergecast counts ``c(v)`` for package size *tau*.
+
+        ``c(v) = (tokens_per_node + Σ_{u child of v} c(u)) mod τ`` — the
+        number of tokens *v* forwards to its parent during the TOKENS
+        phase (Theorem 5.1).  Cached per ``(tau, tokens_per_node)``.
+        """
+        if tau < 1:
+            raise ParameterError(f"tau must be >= 1, got {tau}")
+        if tokens_per_node < 1:
+            raise ParameterError(
+                f"tokens_per_node must be >= 1, got {tokens_per_node}"
+            )
+        key = (tau, tokens_per_node)
+        cached = self._counts_cache.get(key)
+        if cached is not None:
+            return cached
+        c = [0] * len(self.dist)
+        for v in self.postorder:
+            total = tokens_per_node
+            for u in self.children[v]:
+                total += c[u]
+            c[v] = total % tau
+        counts = tuple(c)
+        self._counts_cache[key] = counts
+        return counts
 
 
 class Topology:
@@ -28,7 +113,7 @@ class Topology:
     :meth:`random_regular`, :meth:`gnp`) or :meth:`from_edges`.
     """
 
-    __slots__ = ("_adjacency", "_name", "_diameter")
+    __slots__ = ("_adjacency", "_name", "_diameter", "_diam_ub", "_tree_schedule")
 
     def __init__(self, adjacency: Sequence[Sequence[int]], name: str = "") -> None:
         adj: Tuple[Tuple[int, ...], ...] = tuple(
@@ -48,6 +133,8 @@ class Topology:
         self._adjacency = adj
         self._name = name
         self._diameter: Optional[int] = None
+        self._diam_ub: Optional[int] = None
+        self._tree_schedule: Optional[TreeSchedule] = None
         if not self._is_connected():
             raise ParameterError("topology must be connected")
 
@@ -219,6 +306,16 @@ class Topology:
                     queue.append(u)
         return parent
 
+    def tree_schedule(self) -> TreeSchedule:
+        """The max-ID flooding fixpoint (cached; one BFS + one sort).
+
+        See :class:`TreeSchedule` — the BFS tree the Section 5 protocols
+        elect on this topology, used to warm-start Monte-Carlo runs.
+        """
+        if self._tree_schedule is None:
+            self._tree_schedule = TreeSchedule(self)
+        return self._tree_schedule
+
     def eccentricity(self, v: int) -> int:
         """Maximum hop distance from *v*."""
         return int(self.bfs_distances(v).max())
@@ -230,14 +327,16 @@ class Topology:
         return self._diameter
 
     def diameter_upper_bound(self) -> int:
-        """Cheap 2-approximation: ``2·ecc(0)`` with a single BFS.
+        """Cheap 2-approximation: ``2·ecc(0)`` with a single BFS (cached).
 
         Protocol runners use this for round budgets; benchmarks that report
         ``D`` itself use the exact :meth:`diameter`.
         """
         if self._diameter is not None:
             return self._diameter
-        return 2 * self.eccentricity(0)
+        if self._diam_ub is None:
+            self._diam_ub = 2 * self.eccentricity(0)
+        return self._diam_ub
 
     def _bfs_within(self, source: int, r: int) -> Dict[int, int]:
         """Distances from *source* for all nodes at hop distance ≤ r.

@@ -11,8 +11,7 @@ and small tuples.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Any
+from typing import Any, NamedTuple
 
 from repro.exceptions import ParameterError
 
@@ -31,9 +30,21 @@ def bits_for_int(value: int) -> int:
     return max(1, value.bit_length())
 
 
-@dataclass(frozen=True)
-class Message:
+class _MessageFields(NamedTuple):
+    src: int
+    dst: int
+    payload: Any
+    bits: int
+    tag: str = ""
+
+
+class Message(_MessageFields):
     """One message in flight.
+
+    A plain tuple subclass rather than a dataclass: protocols construct one
+    of these per edge per round, so construction cost is squarely on the
+    engine's hot path (a tuple build is ~2× cheaper than dataclass
+    ``__init__`` + ``__post_init__``).  Immutability comes from the tuple.
 
     Attributes
     ----------
@@ -48,12 +59,9 @@ class Message:
         Optional protocol-phase label, for traces and debugging.
     """
 
-    src: int
-    dst: int
-    payload: Any
-    bits: int
-    tag: str = ""
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if self.bits < 0:
-            raise ParameterError(f"message bits must be >= 0, got {self.bits}")
+    def __new__(cls, src: int, dst: int, payload: Any, bits: int, tag: str = ""):
+        if bits < 0:
+            raise ParameterError(f"message bits must be >= 0, got {bits}")
+        return tuple.__new__(cls, (src, dst, payload, bits, tag))

@@ -31,12 +31,14 @@ class Context:
     """Per-node view of the network, handed to ``on_round``.
 
     Protocol code must treat this as its *only* window into the world.
+    Inbox lists passed to ``on_round`` are engine-owned scratch buffers,
+    valid only for the duration of that call — programs must copy any
+    messages they want to keep.
     """
 
     __slots__ = (
         "node_id",
         "neighbors",
-        "rng",
         "round",
         "quiet_rounds",
         "_neighbor_set",
@@ -44,17 +46,19 @@ class Context:
         "_halted",
         "_output",
         "_wake_at",
+        "_rng",
+        "_rng_factory",
     )
 
     def __init__(
         self,
         node_id: int,
         neighbors: Tuple[int, ...],
-        rng: np.random.Generator,
+        rng: Optional[np.random.Generator] = None,
+        rng_factory: Optional[Callable[[], np.random.Generator]] = None,
     ) -> None:
         self.node_id = node_id
         self.neighbors = neighbors
-        self.rng = rng
         self.round = 0
         self.quiet_rounds = 0
         self._neighbor_set = frozenset(neighbors)
@@ -62,6 +66,27 @@ class Context:
         self._halted = False
         self._output: Any = None
         self._wake_at: Optional[int] = None
+        self._rng = rng
+        self._rng_factory = rng_factory
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """This node's private-coin generator.
+
+        Constructed on first access when the context was given a factory
+        (the engine's lazy-spawn path): generator construction is costly
+        and most protocol nodes never draw randomness.  The stream is
+        identical either way.
+        """
+        gen = self._rng
+        if gen is None:
+            if self._rng_factory is None:
+                raise SimulationError(
+                    f"node {self.node_id} has no randomness source"
+                )
+            gen = self._rng_factory()
+            self._rng = gen
+        return gen
 
     def send(self, to: int, payload: Any, bits: int, tag: str = "") -> None:
         """Queue a message to neighbour *to* for delivery next round."""

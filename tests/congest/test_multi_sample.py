@@ -17,10 +17,7 @@ from repro.congest import (
     congest_parameters,
     verify_packaging,
 )
-from repro.congest.token_packaging import (
-    TokenPackagingProgram,
-    _run_with_deadlock_margin,
-)
+from repro.congest.token_packaging import TokenPackagingProgram
 from repro.distributions import far_family, uniform
 from repro.exceptions import InfeasibleParametersError, ParameterError
 from repro.simulator import SynchronousEngine, Topology
@@ -33,15 +30,16 @@ class TestMultiTokenPackaging:
         topo = Topology.grid(4, 5)
         rng = np.random.default_rng(s * 10 + tau)
         token_lists = [list(rng.integers(0, 500, size=s)) for _ in range(topo.k)]
-        engine = SynchronousEngine(topo, bandwidth_bits=16, max_rounds=5000)
-        report = _run_with_deadlock_margin(
-            engine,
+        engine = SynchronousEngine(
+            topo, bandwidth_bits=16, max_rounds=5000,
+            deadlock_quiet_rounds=tau + 6,
+        )
+        report = engine.run(
             lambda v: TokenPackagingProgram(
                 node_id=v, k=topo.k, tau=tau,
                 token=token_lists[v], token_bits=9,
             ),
             rng=1,
-            margin=tau + 6,
         )
         flat = [t for lst in token_lists for t in lst]
         verify_packaging(report.outputs, flat, tau)

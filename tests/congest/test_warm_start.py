@@ -1,0 +1,123 @@
+"""Tests for the CONGEST warm-start fast path and the memoized τ-solver.
+
+Warm-started runs skip FLOOD/CHILD/COUNT by loading the cached tree
+schedule; outcomes, verdicts and Monte-Carlo error rates must be exactly
+those of the cold (full-protocol) runs.  The exponential-probe/bisection
+τ-solver must agree with the naive linear scan on every instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import (
+    CongestUniformityTester,
+    congest_parameters,
+    verify_warm_start,
+    warm_start_views,
+)
+from repro.congest.tester import _alarm_probabilities
+from repro.core.binomial import find_separating_threshold
+from repro.distributions import far_family, uniform
+from repro.exceptions import InfeasibleParametersError
+from repro.simulator import Topology
+
+
+class TestPackagingWarmStart:
+    @pytest.mark.parametrize(
+        "topo,tau",
+        [
+            (Topology.line(17), 5),
+            (Topology.star(40), 3),
+            (Topology.grid(6, 7), 4),
+            (Topology.random_regular(48, 3, rng=5), 6),
+            (Topology.ring(9), 9),
+            (Topology.line(1), 2),
+        ],
+        ids=["line", "star", "grid", "regular", "ring", "single"],
+    )
+    def test_warm_equals_cold(self, topo, tau):
+        check = verify_warm_start(topo, list(range(topo.k)), tau, rng=3)
+        assert check.equivalent, check.mismatched_nodes
+        # The fast path really skips the tree-building prefix.
+        assert check.warm_report.rounds < check.cold_report.rounds
+        assert check.warm_report.rounds <= tau + 2
+
+    def test_views_cached_on_schedule(self):
+        topo = Topology.grid(4, 5)
+        assert warm_start_views(topo, 3) is warm_start_views(topo, 3)
+        assert warm_start_views(topo, 3) is not warm_start_views(topo, 4)
+
+
+class TestTesterWarmStart:
+    def test_verdicts_identical(self):
+        tester = CongestUniformityTester.solve(500, 1500, 0.9, samples_per_node=4)
+        topo = Topology.star(1500)
+        far = far_family("paninski", 500, 0.9, rng=0)
+        for dist in (uniform(500), far):
+            for seed in (41, 42):
+                cold = tester.run(topo, dist, rng=seed, warm_start=False)
+                warm = tester.run(topo, dist, rng=seed, warm_start=True)
+                assert warm[0] == cold[0]
+                assert warm[1].rounds < cold[1].rounds
+
+    def test_error_rates_identical(self):
+        tester = CongestUniformityTester.solve(500, 1500, 0.9, samples_per_node=4)
+        topo = Topology.star(1500)
+        far = far_family("paninski", 500, 0.9, rng=0)
+        rate_cold = tester.estimate_error(
+            topo, far, False, trials=3, rng=9, warm_start=False
+        )
+        rate_warm = tester.estimate_error(
+            topo, far, False, trials=3, rng=9, warm_start=True
+        )
+        assert rate_warm == rate_cold
+
+
+def _linear_scan_tau(n, k, eps, p=1.0 / 3.0, s=1):
+    """The pre-PR reference solver: smallest feasible tau by linear scan."""
+    total = k * s
+    for tau in range(2, (total + 1) // 2 + 1):
+        virtual = (total - tau + 1) // tau
+        if virtual < 1:
+            continue
+        p_uniform, p_far = _alarm_probabilities(n, tau, eps)
+        if p_far <= p_uniform:
+            continue
+        if find_separating_threshold(virtual, p_uniform, p_far, p) is not None:
+            return tau
+    return None
+
+
+class TestSolverParity:
+    @pytest.mark.parametrize(
+        "n,k,eps",
+        [
+            (500, 3000, 0.9),
+            (500, 6000, 0.9),
+            (500, 12000, 0.9),
+            (300, 6000, 0.9),
+            (1200, 6000, 0.9),
+            (2000, 4000, 0.8),
+            (500, 1500, 0.9),
+        ],
+    )
+    def test_matches_linear_scan(self, n, k, eps):
+        expected = _linear_scan_tau(n, k, eps)
+        if expected is None:
+            with pytest.raises(InfeasibleParametersError):
+                congest_parameters(n, k, eps)
+        else:
+            assert congest_parameters(n, k, eps).tau == expected
+
+    def test_matches_linear_scan_multi_sample(self):
+        expected = _linear_scan_tau(500, 1500, 0.9, s=4)
+        assert expected is not None
+        assert congest_parameters(500, 1500, 0.9, samples_per_node=4).tau == expected
+
+    def test_memoized_tails_are_pure(self):
+        """lru_cache on the alarm tails must not leak state across calls."""
+        a = _alarm_probabilities(500, 6, 0.9)
+        b = _alarm_probabilities(500, 6, 0.9)
+        assert a == b
+        assert congest_parameters(500, 3000, 0.9) == congest_parameters(500, 3000, 0.9)

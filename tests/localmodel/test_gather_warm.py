@@ -1,0 +1,46 @@
+"""Tests for the gather protocol's warm-start (preloaded CLAIM fixpoint)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.localmodel import assign_catchments, luby_mis
+from repro.localmodel.gather_protocol import run_gather_protocol
+from repro.simulator import Topology
+
+
+def _setup(topo, r, seed=0):
+    power = topo.power_graph(min(r, topo.k - 1))
+    mis, _ = luby_mis(power, rng=seed)
+    samples = np.random.default_rng(seed).integers(0, 1000, size=topo.k)
+    return mis, samples
+
+
+@pytest.mark.parametrize(
+    "topo,r",
+    [
+        (Topology.line(30), 4),
+        (Topology.ring(24), 3),
+        (Topology.grid(5, 6), 2),
+        (Topology.gnp(40, 0.12, rng=9), 2),
+        (Topology.random_regular(36, 3, rng=1), 3),
+    ],
+    ids=["line", "ring", "grid", "gnp", "regular"],
+)
+class TestWarmEqualsCold:
+    def test_same_assignment_and_samples(self, topo, r):
+        mis, samples = _setup(topo, r)
+        cold = run_gather_protocol(topo, mis, samples, r, rng=1, warm_start=False)
+        warm = run_gather_protocol(topo, mis, samples, r, rng=1, warm_start=True)
+        assert warm.owner == cold.owner
+        assert warm.samples_at == cold.samples_at
+        # Warm runs route only: the CLAIM wave's rounds are gone.
+        assert warm.rounds < cold.rounds
+        assert warm.rounds <= r + 2
+
+    def test_matches_structural_rule(self, topo, r):
+        mis, samples = _setup(topo, r)
+        structural = assign_catchments(topo, mis, r)
+        warm = run_gather_protocol(topo, mis, samples, r, rng=1, warm_start=True)
+        assert warm.owner == structural.owner

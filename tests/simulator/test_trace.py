@@ -60,23 +60,19 @@ class TestTraceOnCongestTester:
     def test_phases_visible_in_trace(self):
         """The token-packaging phase structure shows up as message bursts
         separated by quiet rounds."""
-        from repro.congest.token_packaging import (
-            TokenPackagingProgram,
-            _run_with_deadlock_margin,
-        )
+        from repro.congest.token_packaging import TokenPackagingProgram
 
         topo = Topology.line(16)
         tau = 4
         engine = SynchronousEngine(
-            topo, bandwidth_bits=32, max_rounds=10_000, record_trace=True
+            topo, bandwidth_bits=32, max_rounds=10_000, record_trace=True,
+            deadlock_quiet_rounds=tau + 6,
         )
-        report = _run_with_deadlock_margin(
-            engine,
+        report = engine.run(
             lambda v: TokenPackagingProgram(
                 node_id=v, k=topo.k, tau=tau, token=v, token_bits=8
             ),
             rng=0,
-            margin=tau + 6,
         )
         assert report.halted
         quiet_rounds = [t.round for t in report.trace if t.quiet]

@@ -1,0 +1,131 @@
+"""Tests for the cached :class:`TreeSchedule` (the warm-start tree).
+
+The schedule predicts, without running any protocol, the exact tree the
+max-ID flooding phase elects under the engine's deterministic delivery
+order: root ``k−1``, BFS distances, min-ID parents.  These tests pin that
+equivalence by running the real FLOOD/CHILD/COUNT phases and comparing
+the per-node state the programs ended up with.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.token_packaging import TokenPackagingProgram
+from repro.simulator import SynchronousEngine, Topology, TreeSchedule
+
+
+TOPOLOGIES = {
+    "line": lambda: Topology.line(17),
+    "ring": lambda: Topology.ring(14),
+    "star": lambda: Topology.star(25),
+    "grid": lambda: Topology.grid(5, 6),
+    "gnp": lambda: Topology.gnp(30, 0.15, rng=2),
+    "regular": lambda: Topology.random_regular(24, 3, rng=4),
+    "single": lambda: Topology.line(1),
+}
+
+
+def _run_cold(topo, tau):
+    """Run cold packaging and keep the program instances for inspection."""
+    programs = {}
+
+    def factory(v):
+        prog = TokenPackagingProgram(
+            node_id=v, k=topo.k, tau=tau, token=v, token_bits=16
+        )
+        programs[v] = prog
+        return prog
+
+    engine = SynchronousEngine(
+        topo, bandwidth_bits=64, max_rounds=100_000,
+        deadlock_quiet_rounds=tau + 6,
+    )
+    engine.run(factory, rng=0)
+    return programs
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    def test_matches_bfs_from_max_id(self, name):
+        topo = TOPOLOGIES[name]()
+        sched = topo.tree_schedule()
+        root = topo.k - 1
+        assert sched.root == root
+        assert sched.dist == tuple(topo.bfs_distances(root))
+        for v in range(topo.k):
+            if v == root:
+                assert sched.parent[v] is None
+                assert sched.dist[v] == 0
+            else:
+                p = sched.parent[v]
+                assert sched.dist[p] == sched.dist[v] - 1
+                # Min-ID among equally-close neighbours (the engine's
+                # sender-sorted delivery order makes this the adopted one).
+                assert p == min(
+                    u for u in topo.neighbors(v)
+                    if sched.dist[u] == sched.dist[v] - 1
+                )
+                assert v in sched.children[p]
+
+    def test_postorder_children_before_parents(self):
+        topo = TOPOLOGIES["gnp"]()
+        sched = topo.tree_schedule()
+        seen = set()
+        for v in sched.postorder:
+            for c in sched.children[v]:
+                assert c in seen
+            seen.add(v)
+        assert seen == set(range(topo.k))
+
+    def test_cached_per_topology(self):
+        topo = Topology.grid(4, 4)
+        assert topo.tree_schedule() is topo.tree_schedule()
+        assert isinstance(topo.tree_schedule(), TreeSchedule)
+
+
+class TestMatchesElectedTree:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("tau", [2, 5])
+    def test_parent_children_and_counts(self, name, tau):
+        """The cold protocol elects exactly the cached schedule's tree and
+        converges to exactly its token counts."""
+        topo = TOPOLOGIES[name]()
+        sched = topo.tree_schedule()
+        counts = sched.token_counts(tau)
+        programs = _run_cold(topo, tau)
+        for v in range(topo.k):
+            prog = programs[v]
+            assert prog.parent == sched.parent[v], f"node {v} parent"
+            assert tuple(prog.children) == sched.children[v], f"node {v} children"
+            assert prog.c_value == counts[v], f"node {v} c(v)"
+
+
+class TestTokenCounts:
+    def test_counts_are_subtree_sizes_mod_tau(self):
+        topo = Topology.grid(5, 5)
+        sched = topo.tree_schedule()
+        for tau in (2, 3, 7):
+            counts = sched.token_counts(tau)
+            # Independent check: c(v) = |subtree(v)| mod tau.
+            size = [1] * topo.k
+            for v in sched.postorder:
+                for c in sched.children[v]:
+                    size[v] += size[c]
+            assert counts == tuple(s % tau for s in size)
+
+    def test_counts_cached(self):
+        topo = Topology.ring(9)
+        sched = topo.tree_schedule()
+        assert sched.token_counts(4) is sched.token_counts(4)
+        assert sched.token_counts(4) != sched.token_counts(3)
+
+    def test_multi_token_counts(self):
+        topo = Topology.line(6)
+        sched = topo.tree_schedule()
+        counts = sched.token_counts(4, tokens_per_node=3)
+        size = [1] * topo.k
+        for v in sched.postorder:
+            for c in sched.children[v]:
+                size[v] += size[c]
+        assert counts == tuple((3 * s) % 4 for s in size)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.rng import derive, derive_many, ensure_rng, spawn
+from repro.rng import derive, derive_many, ensure_rng, spawn, spawn_lazy
 
 
 class TestEnsureRng:
@@ -52,6 +52,36 @@ class TestSpawn:
     def test_spawn_negative_raises(self):
         with pytest.raises(ValueError):
             spawn(ensure_rng(0), -1)
+
+
+class TestSpawnLazy:
+    def test_bit_identical_to_spawn(self):
+        eager = [g.integers(0, 1 << 30, size=4) for g in spawn(ensure_rng(9), 5)]
+        lazy = [f().integers(0, 1 << 30, size=4) for f in spawn_lazy(ensure_rng(9), 5)]
+        for a, b in zip(eager, lazy):
+            assert np.array_equal(a, b)
+
+    def test_access_order_irrelevant(self):
+        """Stream-to-index assignment is fixed no matter which factory
+        runs first (all child seed sequences spawn together then)."""
+        eager = [int(g.integers(0, 1 << 62)) for g in spawn(ensure_rng(4), 4)]
+        factories = spawn_lazy(ensure_rng(4), 4)
+        out = {}
+        for i in (3, 0, 2, 1):
+            out[i] = int(factories[i]().integers(0, 1 << 62))
+        assert [out[i] for i in range(4)] == eager
+
+    def test_nothing_derived_until_first_call(self):
+        parent = ensure_rng(2)
+        factories = spawn_lazy(parent, 100)
+        assert parent.bit_generator.seed_seq.n_children_spawned == 0
+        factories[0]()
+        assert parent.bit_generator.seed_seq.n_children_spawned == 100
+
+    def test_zero_and_negative(self):
+        assert spawn_lazy(ensure_rng(0), 0) == []
+        with pytest.raises(ValueError):
+            spawn_lazy(ensure_rng(0), -1)
 
 
 class TestDerive:

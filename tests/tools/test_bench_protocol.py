@@ -1,0 +1,44 @@
+"""Smoke-test the protocol fast-path benchmark end to end.
+
+Runs ``tools/bench_protocol.py --smoke`` as a subprocess (the way CI and
+users invoke it) and checks the JSON contract: the run succeeds, every
+fast-path route agrees with the full protocol, and the warm start beats
+both the cold run and the legacy engine baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_smoke_run_writes_valid_report(tmp_path):
+    out = tmp_path / "bench.json"
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "bench_protocol.py"),
+         "--smoke", "--trials", "2", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "bench_protocol/v1"
+    assert payload["smoke"] is True
+    for key in ("e5_packaging", "e6_tester", "e7_gather"):
+        assert payload[key]["equivalent"] is True, key
+        assert payload[key]["warm_seconds"] > 0
+    e6 = payload["e6_tester"]
+    assert e6["trials"] == 2
+    # The fast path must actually be faster than the pre-fast-path loop.
+    assert e6["speedup_warm"] > 1.0
+    assert e6["speedup_cold"] > 1.0
+    # Cold runs keep the O(D + tau) round count; warm runs shed the
+    # tree-building prefix.
+    e5 = payload["e5_packaging"]
+    assert e5["warm_rounds"] < e5["cold_rounds"]

@@ -1,0 +1,402 @@
+"""Time the protocol simulator's fast path against the pre-fast-path engine.
+
+Three workloads, each run through up to three bit-equivalent routes:
+
+- **E5 packaging** (grid, τ=8): the full FLOOD/CHILD/COUNT/TOKENS
+  protocol (*cold* — this is the run whose round count the ``O(D + τ)``
+  benchmark E5 cites) vs the *warm* start that loads the topology's
+  cached :class:`TreeSchedule` and runs only the TOKENS phase.
+- **E6 tester error-rate** (n=500, k=3000, star): Monte-Carlo CONGEST
+  tester trials through (a) a bench-local **legacy** engine that
+  faithfully reproduces the pre-fast-path inner loop (per-round dict
+  inboxes, full ``sorted(live)`` rebuilds, eager per-trial generator
+  spawning) with the parameter-solver caches cleared per trial, (b) the
+  current slim engine *cold*, and (c) the slim engine *warm-started*.
+  The headline number is legacy vs warm: the speedup the fast path buys
+  a Monte-Carlo error-rate sweep.
+- **E7 gather** (ring, r=4): the LOCAL CLAIM+ROUTE protocol cold vs
+  warm (preloaded CLAIM fixpoint).
+
+Every route must agree exactly — identical packaging outcomes, identical
+verdicts, identical sample assignments — and the script exits non-zero
+if any equivalence check fails.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_protocol.py            # full run
+    PYTHONPATH=src python tools/bench_protocol.py --smoke    # <30 s CI run
+
+Writes ``BENCH_protocol.json`` (override with ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+import repro.congest.tester as tester_mod  # noqa: E402
+from repro.congest import CongestUniformityTester, verify_warm_start  # noqa: E402
+from repro.congest.tester import _alarm_probabilities  # noqa: E402
+from repro.congest.token_packaging import run_token_packaging  # noqa: E402
+from repro.core.binomial import find_separating_threshold  # noqa: E402
+from repro.distributions import far_family  # noqa: E402
+from repro.exceptions import BandwidthExceededError, SimulationError  # noqa: E402
+from repro.localmodel import luby_mis  # noqa: E402
+from repro.localmodel.gather_protocol import run_gather_protocol  # noqa: E402
+from repro.rng import SeedLike, ensure_rng, spawn  # noqa: E402
+from repro.simulator import Topology  # noqa: E402
+from repro.simulator.engine import EngineReport  # noqa: E402
+from repro.simulator.message import Message  # noqa: E402
+from repro.simulator.node import Context  # noqa: E402
+
+BASE_SEED = 2018  # PODC year; any fixed value works
+
+# E6 workload (ISSUE acceptance workload): Theorem 1.4 at n=500, k=3000.
+E6_N = 500
+E6_K = 3000
+E6_EPS = 0.9
+
+
+class LegacySynchronousEngine:
+    """The pre-fast-path engine loop, preserved verbatim for baselining.
+
+    Reproduces the original ``SynchronousEngine.run``: eager per-node
+    generator spawning, per-round ``dict`` inboxes built with
+    ``setdefault``, ``sorted(set(...))`` active-set rebuilds every round,
+    trace stats recomputed by re-iterating the inboxes, and outbox
+    draining through per-round context list rebuilds.  Constructor is
+    signature-compatible with the current engine so it can be patched
+    into ``repro.congest.tester`` for the baseline measurement.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        bandwidth_bits: Optional[int] = None,
+        max_rounds: int = 1_000_000,
+        record_trace: bool = False,
+        deadlock_quiet_rounds: int = 3,
+    ) -> None:
+        self.topology = topology
+        self.bandwidth_bits = bandwidth_bits
+        self.max_rounds = max_rounds
+        self.record_trace = record_trace
+        self.deadlock_quiet_rounds = deadlock_quiet_rounds
+
+    def run(self, program_factory, rng: SeedLike = None) -> EngineReport:
+        topo = self.topology
+        gen = ensure_rng(rng)
+        node_rngs = spawn(gen, topo.k)  # eager: every node pays up front
+        programs = [program_factory(v) for v in range(topo.k)]
+        contexts = [
+            Context(node_id=v, neighbors=topo.neighbors(v), rng=node_rngs[v])
+            for v in range(topo.k)
+        ]
+
+        live: set = set(range(topo.k))
+        pending_wakes: Dict[int, List[int]] = {}
+
+        def note_halt_and_wake(v: int) -> None:
+            ctx = contexts[v]
+            if ctx.halted:
+                live.discard(v)
+            elif ctx._wake_at is not None:
+                pending_wakes.setdefault(ctx._wake_at, []).append(v)
+
+        for v, prog in enumerate(programs):
+            prog.on_start(contexts[v])
+            note_halt_and_wake(v)
+        in_flight = self._collect(contexts)
+
+        rounds = 0
+        messages = 0
+        total_bits = 0
+        max_edge_bits = 0
+        quiet_streak = 0
+        trace = []
+
+        while rounds < self.max_rounds:
+            if not live and not in_flight:
+                return EngineReport(
+                    rounds=rounds,
+                    messages=messages,
+                    total_bits=total_bits,
+                    max_edge_bits_per_round=max_edge_bits,
+                    outputs=[ctx.output for ctx in contexts],
+                    halted=True,
+                    trace=trace,
+                )
+            rounds += 1
+            inboxes: Dict[int, List[Message]] = {}
+            for msg in in_flight:
+                inboxes.setdefault(msg.dst, []).append(msg)
+                messages += 1
+                total_bits += msg.bits
+                max_edge_bits = max(max_edge_bits, msg.bits)
+            if in_flight:
+                quiet_streak = 0
+            else:
+                quiet_streak += 1
+                if quiet_streak >= self.deadlock_quiet_rounds:
+                    sample = sorted(live)[:8]
+                    raise SimulationError(
+                        f"deadlock: {quiet_streak} silent rounds with live "
+                        f"nodes {sample}{'...' if len(live) > 8 else ''} "
+                        f"at round {rounds}"
+                    )
+            due = pending_wakes.pop(rounds, [])
+            if quiet_streak > 0:
+                active = sorted(live)
+            else:
+                active = sorted(set(inboxes).union(due).intersection(live))
+            for v in active:
+                ctx = contexts[v]
+                if ctx._wake_at is not None and ctx._wake_at <= rounds:
+                    ctx._wake_at = None
+                ctx.round = rounds
+                ctx.quiet_rounds = quiet_streak
+                programs[v].on_round(ctx, inboxes.get(v, []))
+                note_halt_and_wake(v)
+            if self.record_trace:
+                from repro.simulator.engine import RoundStats
+
+                trace.append(
+                    RoundStats(
+                        round=rounds,
+                        messages=sum(len(ms) for ms in inboxes.values()),
+                        bits=sum(m.bits for ms in inboxes.values() for m in ms),
+                        active_nodes=len(active),
+                        quiet=quiet_streak > 0,
+                    )
+                )
+            in_flight = self._collect([contexts[v] for v in active])
+
+        return EngineReport(
+            rounds=rounds,
+            messages=messages,
+            total_bits=total_bits,
+            max_edge_bits_per_round=max_edge_bits,
+            outputs=[ctx.output for ctx in contexts],
+            halted=all(ctx.halted for ctx in contexts),
+            trace=trace,
+        )
+
+    def _collect(self, contexts: Sequence[Context]) -> List[Message]:
+        out: List[Message] = []
+        for ctx in contexts:
+            seen_edges = set()
+            for msg in ctx._drain_outbox():
+                if self.bandwidth_bits is not None:
+                    if msg.bits > self.bandwidth_bits:
+                        raise BandwidthExceededError(
+                            f"node {msg.src} sent {msg.bits} bits to "
+                            f"{msg.dst} (budget {self.bandwidth_bits}) "
+                            f"[tag={msg.tag!r}]"
+                        )
+                    if msg.dst in seen_edges:
+                        raise BandwidthExceededError(
+                            f"node {msg.src} sent two messages to {msg.dst} "
+                            f"in one round [tag={msg.tag!r}]"
+                        )
+                    seen_edges.add(msg.dst)
+                out.append(msg)
+        return out
+
+
+def _drop_caches(topology: Topology) -> None:
+    """Reset everything the fast path memoizes, so the legacy baseline
+    re-pays the pre-fast-path per-trial costs (threshold solving, tail
+    evaluation, diameter BFS)."""
+    find_separating_threshold.cache_clear()
+    _alarm_probabilities.cache_clear()
+    topology._diam_ub = None
+
+
+def bench_e6_tester(trials: int) -> dict:
+    tester = CongestUniformityTester.solve(E6_N, E6_K, E6_EPS)
+    far = far_family("paninski", E6_N, E6_EPS, rng=0)
+    seeds = [BASE_SEED + i for i in range(trials)]
+
+    def run_trials(warm: bool):
+        topo = Topology.star(E6_K)  # fresh topology: no cached schedule
+        out = []
+        start = time.perf_counter()
+        for seed in seeds:
+            out.append(tester.run(topo, far, rng=seed, warm_start=warm)[0])
+        return time.perf_counter() - start, out
+
+    def run_legacy():
+        topo = Topology.star(E6_K)
+        out = []
+        current = tester_mod.SynchronousEngine
+        tester_mod.SynchronousEngine = LegacySynchronousEngine
+        try:
+            start = time.perf_counter()
+            for seed in seeds:
+                _drop_caches(topo)
+                out.append(tester.run(topo, far, rng=seed, warm_start=False)[0])
+            elapsed = time.perf_counter() - start
+        finally:
+            tester_mod.SynchronousEngine = current
+        return elapsed, out
+
+    t_legacy, v_legacy = run_legacy()
+    t_cold, v_cold = run_trials(warm=False)
+    t_warm, v_warm = run_trials(warm=True)
+    equivalent = v_legacy == v_cold == v_warm
+
+    print(f"E6 tester   n={E6_N} k={E6_K} tau={tester.params.tau} "
+          f"trials={trials}")
+    print(f"  legacy engine, cold : {t_legacy:7.3f} s "
+          f"({t_legacy / trials * 1000:6.1f} ms/trial)")
+    print(f"  slim engine,   cold : {t_cold:7.3f} s "
+          f"({t_cold / trials * 1000:6.1f} ms/trial)  "
+          f"[{t_legacy / t_cold:.2f}x]")
+    print(f"  slim engine,   warm : {t_warm:7.3f} s "
+          f"({t_warm / trials * 1000:6.1f} ms/trial)  "
+          f"[{t_legacy / t_warm:.2f}x]")
+    print(f"  verdicts identical  : {equivalent}")
+
+    return {
+        "n": E6_N,
+        "k": E6_K,
+        "eps": E6_EPS,
+        "tau": tester.params.tau,
+        "topology": "star",
+        "trials": trials,
+        "legacy_seconds": round(t_legacy, 4),
+        "cold_seconds": round(t_cold, 4),
+        "warm_seconds": round(t_warm, 4),
+        "speedup_cold": round(t_legacy / t_cold, 2),
+        "speedup_warm": round(t_legacy / t_warm, 2),
+        "rejection_rate": sum(not v for v in v_warm) / trials,
+        "equivalent": equivalent,
+    }
+
+
+def bench_e5_packaging(repeats: int) -> dict:
+    topo = Topology.grid(8, 8)
+    tau = 8
+    tokens = list(range(topo.k))
+    check = verify_warm_start(topo, tokens, tau, rng=BASE_SEED)
+
+    def timed(warm: bool) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t = Topology.grid(8, 8)
+            start = time.perf_counter()
+            run_token_packaging(t, tokens, tau, rng=BASE_SEED, warm_start=warm)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    t_cold = timed(False)
+    t_warm = timed(True)
+    print(f"E5 packaging grid(8,8) tau={tau}: cold {t_cold * 1000:6.1f} ms "
+          f"({check.cold_report.rounds} rounds, the O(D+tau) run) vs "
+          f"warm {t_warm * 1000:6.1f} ms ({check.warm_report.rounds} rounds) "
+          f"[{t_cold / t_warm:.2f}x]  equivalent={check.equivalent}")
+    return {
+        "topology": "grid(8,8)",
+        "tau": tau,
+        "cold_seconds": round(t_cold, 5),
+        "warm_seconds": round(t_warm, 5),
+        "cold_rounds": check.cold_report.rounds,
+        "warm_rounds": check.warm_report.rounds,
+        "speedup_warm": round(t_cold / t_warm, 2),
+        "equivalent": check.equivalent,
+    }
+
+
+def bench_e7_gather(repeats: int) -> dict:
+    topo = Topology.ring(96)
+    radius = 4
+    power = topo.power_graph(radius)
+    mis, _ = luby_mis(power, rng=BASE_SEED)
+    samples = np.random.default_rng(BASE_SEED).integers(0, 1000, size=topo.k)
+    cold = run_gather_protocol(topo, mis, samples, radius, rng=1, warm_start=False)
+    warm = run_gather_protocol(topo, mis, samples, radius, rng=1, warm_start=True)
+    equivalent = warm.owner == cold.owner and warm.samples_at == cold.samples_at
+
+    def timed(warm_flag: bool) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t = Topology.ring(96)
+            start = time.perf_counter()
+            run_gather_protocol(t, mis, samples, radius, rng=1,
+                                warm_start=warm_flag)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    t_cold = timed(False)
+    t_warm = timed(True)
+    print(f"E7 gather ring(96) r={radius}: cold {t_cold * 1000:6.1f} ms "
+          f"({cold.rounds} rounds) vs warm {t_warm * 1000:6.1f} ms "
+          f"({warm.rounds} rounds) [{t_cold / t_warm:.2f}x]  "
+          f"equivalent={equivalent}")
+    return {
+        "topology": "ring(96)",
+        "radius": radius,
+        "cold_seconds": round(t_cold, 5),
+        "warm_seconds": round(t_warm, 5),
+        "cold_rounds": cold.rounds,
+        "warm_rounds": warm.rounds,
+        "speedup_warm": round(t_cold / t_warm, 2),
+        "equivalent": equivalent,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--trials", type=int, default=None,
+                        help="E6 Monte-Carlo trials (default 9, smoke 3)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run (<30 s) for CI sanity checks")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=ROOT / "BENCH_protocol.json",
+                        help="output JSON path "
+                             "(default repo-root BENCH_protocol.json)")
+    args = parser.parse_args(argv)
+
+    if args.trials is not None and args.trials < 1:
+        parser.error(f"--trials must be >= 1, got {args.trials}")
+    trials = args.trials
+    if trials is None:
+        trials = 3 if args.smoke else 9
+    repeats = 1 if args.smoke else 3
+
+    print(f"protocol fast-path benchmark  cpu_count={os.cpu_count()}")
+    e5 = bench_e5_packaging(repeats)
+    e6 = bench_e6_tester(trials)
+    e7 = bench_e7_gather(repeats)
+
+    payload = {
+        "schema": "bench_protocol/v1",
+        "smoke": bool(args.smoke),
+        "cpu_count": os.cpu_count(),
+        "base_seed": BASE_SEED,
+        "e5_packaging": e5,
+        "e6_tester": e6,
+        "e7_gather": e7,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not (e5["equivalent"] and e6["equivalent"] and e7["equivalent"]):
+        print("ERROR: fast path disagrees with the full protocol — "
+              "equivalence contract broken", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
