@@ -30,7 +30,7 @@ from repro.core import and_rule_parameters, threshold_parameters
 from repro.core import bounds as bounds_mod
 from repro.core.params import threshold_parameters_exact
 from repro.distributions import far_family, uniform
-from repro.exceptions import ReproError
+from repro.exceptions import ParameterError, ReproError
 from repro.experiments import Table
 from repro.zeroround import ThresholdNetworkTester
 
@@ -41,6 +41,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--eps", type=float, default=0.9, help="L1 distance parameter")
     parser.add_argument("--p", type=float, default=1 / 3, help="error budget")
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+
+
+def _validate_common(args: argparse.Namespace) -> None:
+    """Reject out-of-range problem parameters before any solver runs.
+
+    ``eps`` is an L1 distance between distributions, so ``(0, 2]`` is the
+    meaningful range; ``p`` is a two-sided error budget, open at both ends
+    (0 demands certainty, 1 permits anything).  Catching these here gives
+    a clear :class:`~repro.exceptions.ParameterError` instead of a
+    downstream math-domain error or a nonsense solve.
+    """
+    eps = getattr(args, "eps", None)
+    if eps is not None and not 0.0 < eps <= 2.0:
+        raise ParameterError(
+            f"--eps must be in (0, 2] (an L1 distance), got {eps}"
+        )
+    p = getattr(args, "p", None)
+    if p is not None and not 0.0 < p < 1.0:
+        raise ParameterError(
+            f"--p must be in (0, 1) (an error probability), got {p}"
+        )
 
 
 def _cmd_solve_threshold(args: argparse.Namespace) -> int:
@@ -181,6 +202,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        _validate_common(args)
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

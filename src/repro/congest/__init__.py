@@ -11,6 +11,10 @@ Two layers:
   (Theorem 1.2), convergecast the alarm count to the BFS root, and have
   the root broadcast the verdict.  Total ``O(D + n/(kε⁴))`` rounds, all
   messages within the ``O(log n)``-bit CONGEST budget (engine-enforced).
+- :mod:`repro.congest.hardened` — fault-tolerant variants of both:
+  timer-driven phases, ack/retransmit with bounded retries, and graceful
+  degradation under the engine's deterministic
+  :class:`~repro.simulator.faults.FaultPlan` injection.
 """
 
 from repro.congest.token_packaging import (
@@ -28,8 +32,28 @@ from repro.congest.tester import (
     CongestUniformityTester,
     congest_parameters,
 )
+from repro.congest.hardened import (
+    HardenedCongestTester,
+    HardenedCongestTesterProgram,
+    HardenedPackagingOutcome,
+    HardenedRunResult,
+    HardenedTesterOutcome,
+    HardenedTokenPackagingProgram,
+    PhaseSchedule,
+    RetryPolicy,
+    run_hardened_packaging,
+)
 
 __all__ = [
+    "HardenedCongestTester",
+    "HardenedCongestTesterProgram",
+    "HardenedPackagingOutcome",
+    "HardenedRunResult",
+    "HardenedTesterOutcome",
+    "HardenedTokenPackagingProgram",
+    "PhaseSchedule",
+    "RetryPolicy",
+    "run_hardened_packaging",
     "TokenPackagingProgram",
     "PackagingOutcome",
     "WarmStart",

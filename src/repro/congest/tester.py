@@ -38,6 +38,7 @@ from repro.distributions.base import DiscreteDistribution
 from repro.exceptions import InfeasibleParametersError, ParameterError
 from repro.rng import SeedLike, ensure_rng
 from repro.simulator.engine import EngineReport, SynchronousEngine
+from repro.simulator.faults import FaultPlan
 from repro.simulator.graph import Topology
 from repro.simulator.message import Message, bits_for_domain, bits_for_int
 from repro.simulator.node import Context
@@ -352,6 +353,7 @@ class CongestUniformityTester:
         distribution: DiscreteDistribution,
         rng: SeedLike = None,
         warm_start: bool = False,
+        faults: Optional[FaultPlan] = None,
     ) -> Tuple[bool, EngineReport]:
         """Execute the protocol once; returns ``(accepted, report)``.
 
@@ -361,6 +363,12 @@ class CongestUniformityTester:
         topology's cached schedule — same verdict (tested), but the
         report's round count then excludes the ``O(D)`` prefix; keep it
         off when measuring the Theorem 1.4 round bound.
+
+        ``faults`` forwards a fault plan to the engine; this protocol
+        assumes reliable delivery (see
+        :class:`repro.congest.hardened.HardenedCongestTester` for the
+        fault-tolerant variant), so only ``FaultPlan.none()`` is useful
+        here — it asserts the bit-identity contract end to end.
         """
         if topology.k != self.params.k:
             raise ParameterError(
@@ -382,6 +390,7 @@ class CongestUniformityTester:
             bandwidth_bits=bandwidth,
             max_rounds=50 * (topology.diameter_upper_bound() + self.params.tau + 10),
             deadlock_quiet_rounds=self.params.tau + 6,
+            faults=faults,
         )
         views = (
             warm_start_views(topology, self.params.tau, s) if warm_start else None

@@ -42,6 +42,7 @@ import numpy as np
 from repro.exceptions import ParameterError, SimulationError
 from repro.rng import SeedLike
 from repro.simulator.engine import EngineReport, SynchronousEngine
+from repro.simulator.faults import FaultPlan
 from repro.simulator.graph import Topology, TreeSchedule
 from repro.simulator.message import Message, bits_for_domain, bits_for_int
 from repro.simulator.node import Context, NodeProgram
@@ -347,6 +348,7 @@ def run_token_packaging(
     token_bits: Optional[int] = None,
     rng: SeedLike = None,
     warm_start: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> Tuple[List[PackagingOutcome], EngineReport]:
     """Run τ-token packaging over *topology* with the given initial tokens.
 
@@ -357,6 +359,12 @@ def run_token_packaging(
     FLOOD/CHILD/COUNT phases; the packaging outcome is identical (see
     :func:`verify_warm_start`), but ``report.rounds`` then measures only
     the TOKENS phase — keep it off when measuring the ``O(D + τ)`` bound.
+
+    ``faults`` forwards a :class:`~repro.simulator.faults.FaultPlan` to the
+    engine.  This protocol assumes reliable delivery — real faults will
+    generally deadlock or corrupt it (use the hardened variant in
+    :mod:`repro.congest.hardened` instead); the parameter exists so
+    ``FaultPlan.none()`` bit-identity can be asserted end to end.
     """
     if len(tokens) != topology.k:
         raise ParameterError(
@@ -373,6 +381,7 @@ def run_token_packaging(
         bandwidth_bits=bandwidth,
         max_rounds=10 * (topology.diameter_upper_bound() + tau + 10),
         deadlock_quiet_rounds=tau + 6,
+        faults=faults,
     )
     views = warm_start_views(topology, tau) if warm_start else None
     report = engine.run(

@@ -14,6 +14,9 @@ and the examples:
   benchmark output (the repo's stand-in for the paper's tables).
 - :mod:`repro.experiments.sweeps` — parameter grids and log-log slope
   fitting for scaling-shape checks (e.g. "samples ∝ k^{−1/2}").
+- :mod:`repro.experiments.robustness` — fault-grid sweeps of the
+  hardened CONGEST tester: error rate vs drop probability and crash
+  fraction, with the engine's fault counters alongside.
 """
 
 from repro.experiments.runner import (
@@ -27,6 +30,11 @@ from repro.experiments.stats import (
     empirical_sample_complexity,
     estimate,
     wilson_interval,
+)
+from repro.experiments.robustness import (
+    RobustnessPoint,
+    make_topology,
+    robustness_sweep,
 )
 from repro.experiments.sweeps import (
     geometric_grid,
@@ -46,6 +54,9 @@ __all__ = [
     "wilson_interval",
     "empirical_sample_complexity",
     "Table",
+    "RobustnessPoint",
+    "make_topology",
+    "robustness_sweep",
     "geometric_grid",
     "geometric_int_grid",
     "loglog_slope",

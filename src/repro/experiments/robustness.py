@@ -1,0 +1,196 @@
+"""Robustness sweeps: tester accuracy under message loss and crashes.
+
+The hardened CONGEST tester (:mod:`repro.congest.hardened`) is built to
+*degrade* under faults — lose evidence, widen windows, report what went
+missing — rather than deadlock.  This module measures the degradation:
+for each point on a (drop probability × crash fraction) grid it runs
+Monte-Carlo trials of the full hardened protocol against uniform and
+against a certified ε-far distribution, and records the error rates next
+to the fault counters the engine surfaced.
+
+Determinism: trial ``t`` of point ``(d, c)`` uses sampling seed
+``base_seed + t`` and a :class:`~repro.simulator.faults.FaultPlan` seeded
+from the same trial index, with crash victims drawn (never the elected
+root ``k−1``, which would void the verdict entirely) by a generator keyed
+on ``(base_seed, trial)`` — rerunning a sweep reproduces it bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.congest.hardened import (
+    HardenedCongestTester,
+    PhaseSchedule,
+    RetryPolicy,
+)
+from repro.distributions import far_family, uniform
+from repro.exceptions import ParameterError
+from repro.simulator.faults import FaultPlan
+from repro.simulator.graph import Topology
+
+
+def make_topology(name: str, k: int) -> Topology:
+    """Build a named benchmark topology on ``k`` nodes.
+
+    ``star`` and ``ring`` take any ``k``; ``grid`` uses the most-square
+    ``rows × cols = k`` factorisation (rows = the largest divisor of
+    ``k`` not exceeding ``√k``).
+    """
+    if name == "star":
+        return Topology.star(k)
+    if name == "ring":
+        return Topology.ring(k)
+    if name == "grid":
+        rows = max(r for r in range(1, int(math.isqrt(k)) + 1) if k % r == 0)
+        return Topology.grid(rows, k // rows)
+    raise ParameterError(f"unknown topology {name!r} (star, ring, grid)")
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """Aggregated trial results at one (drop, crash) grid point."""
+
+    topology: str
+    drop_prob: float
+    crash_fraction: float
+    crashed_nodes: int
+    trials: int
+    error_uniform: float
+    error_far: float
+    no_verdict: int
+    mean_rounds: float
+    mean_drops: float
+    mean_missing_subtrees: float
+    mean_shortfall: float
+    mean_unheard: float
+    mean_agreement: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "topology": self.topology,
+            "drop_prob": self.drop_prob,
+            "crash_fraction": self.crash_fraction,
+            "crashed_nodes": self.crashed_nodes,
+            "trials": self.trials,
+            "error_uniform": self.error_uniform,
+            "error_far": self.error_far,
+            "no_verdict": self.no_verdict,
+            "mean_rounds": self.mean_rounds,
+            "mean_drops": self.mean_drops,
+            "mean_missing_subtrees": self.mean_missing_subtrees,
+            "mean_shortfall": self.mean_shortfall,
+            "mean_unheard": self.mean_unheard,
+            "mean_agreement": self.mean_agreement,
+        }
+
+
+def _crash_plan(
+    k: int,
+    fraction: float,
+    horizon: int,
+    base_seed: int,
+    trial: int,
+) -> Dict[int, int]:
+    """Deterministic crash-stop schedule for one trial.
+
+    Crashes ``⌊fraction · (k−1)⌋`` victims chosen uniformly among nodes
+    ``0 .. k−2`` (the elected root ``k−1`` is spared so the run still has
+    a verdict to score) at rounds uniform in ``[1, horizon]``.
+    """
+    count = int(fraction * (k - 1))
+    if count <= 0:
+        return {}
+    gen = np.random.default_rng([base_seed, trial, 0xC4A5])
+    victims = gen.choice(k - 1, size=count, replace=False)
+    rounds = gen.integers(1, horizon + 1, size=count)
+    return {int(v): int(r) for v, r in zip(victims, rounds)}
+
+
+def robustness_sweep(
+    n: int,
+    k: int,
+    eps: float,
+    p: float = 1.0 / 3.0,
+    samples_per_node: int = 1,
+    topology: str = "star",
+    drop_probs: Sequence[float] = (0.0, 0.01, 0.05),
+    crash_fractions: Sequence[float] = (0.0,),
+    trials: int = 10,
+    base_seed: int = 0,
+    policy: Optional[RetryPolicy] = None,
+) -> Tuple[RobustnessPoint, ...]:
+    """Sweep the hardened tester over a fault grid; one point per combo.
+
+    Every trial runs the full hardened protocol twice — once sampling
+    from uniform, once from the Paninski ε-far family — under the same
+    fault plan, so ``error_uniform``/``error_far`` are directly
+    comparable.  A run whose verdict is ``None`` (the root crashed; ruled
+    out by :func:`_crash_plan` but possible with custom plans) counts as
+    an error on both sides and in ``no_verdict``.
+    """
+    if trials < 1:
+        raise ParameterError(f"trials must be >= 1, got {trials}")
+    tester = HardenedCongestTester.solve(
+        n, k, eps, p, samples_per_node, policy=policy
+    )
+    topo = make_topology(topology, k)
+    d_hint = topo.diameter_upper_bound()
+    schedule = PhaseSchedule.build(d_hint, tester.params.tau, tester.policy)
+    dist_u = uniform(n)
+    dist_far = far_family("paninski", n, min(eps, 1.0), rng=base_seed)
+
+    points = []
+    for drop in drop_probs:
+        for frac in crash_fractions:
+            err_u = err_f = no_verdict = 0
+            rounds = drops = missing = shortfall = unheard = 0.0
+            agreement = 0.0
+            crashed_nodes = int(frac * (k - 1))
+            for t in range(trials):
+                plan = FaultPlan(
+                    seed=base_seed * 1_000_003 + t,
+                    drop_prob=drop,
+                    crashes=_crash_plan(
+                        k, frac, schedule.count_end, base_seed, t
+                    ),
+                )
+                res_u = tester.run(topo, dist_u, rng=base_seed + t, faults=plan)
+                res_f = tester.run(
+                    topo, dist_far, rng=base_seed + t, faults=plan
+                )
+                err_u += res_u.verdict is not True
+                err_f += res_f.verdict is not False
+                no_verdict += (res_u.verdict is None) + (
+                    res_f.verdict is None
+                )
+                rounds += res_u.report.rounds + res_f.report.rounds
+                drops += res_u.report.drops + res_f.report.drops
+                missing += res_u.missing_subtrees + res_f.missing_subtrees
+                shortfall += res_u.shortfall + res_f.shortfall
+                unheard += res_u.unheard + res_f.unheard
+                agreement += res_u.agreement + res_f.agreement
+            runs = 2 * trials
+            points.append(
+                RobustnessPoint(
+                    topology=topology,
+                    drop_prob=float(drop),
+                    crash_fraction=float(frac),
+                    crashed_nodes=crashed_nodes,
+                    trials=trials,
+                    error_uniform=err_u / trials,
+                    error_far=err_f / trials,
+                    no_verdict=no_verdict,
+                    mean_rounds=rounds / runs,
+                    mean_drops=drops / runs,
+                    mean_missing_subtrees=missing / runs,
+                    mean_shortfall=shortfall / runs,
+                    mean_unheard=unheard / runs,
+                    mean_agreement=agreement / runs,
+                )
+            )
+    return tuple(points)

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.exceptions import ParameterError, SimulationError
 from repro.rng import SeedLike
 from repro.simulator.engine import EngineReport, SynchronousEngine
+from repro.simulator.faults import FaultPlan
 from repro.simulator.graph import Topology
 from repro.simulator.message import Message
 from repro.simulator.node import Context, NodeProgram
@@ -123,9 +124,20 @@ class GatherProgram(NodeProgram):
     warm_start:
         Optional precomputed CLAIM fixpoint (:class:`GatherWarmStart`);
         when given, the program starts routing at round 0.
+    strict:
+        With ``strict=True`` (default, the fault-free contract), a node
+        still holding samples after ``r`` routing rounds raises
+        :class:`~repro.exceptions.SimulationError` — on a reliable network
+        that means the MIS/radius invariants are broken.  With
+        ``strict=False`` (the timeout path for faulty networks), the node
+        instead reports the undelivered bundle in its output and halts
+        gracefully.
 
     Output: ``(owner, collected)`` — the owner this node routed to, and
     (for MIS nodes) the tuple of ``(origin, sample)`` pairs received.
+    With ``strict=False`` the output is ``(owner, collected,
+    undelivered)``, the last entry the tuple of ``(origin, sample)`` pairs
+    the node failed to deliver before the deadline.
     """
 
     def __init__(
@@ -135,6 +147,7 @@ class GatherProgram(NodeProgram):
         sample: int,
         radius: int,
         warm_start: Optional[GatherWarmStart] = None,
+        strict: bool = True,
     ) -> None:
         if radius < 1:
             raise ParameterError(f"radius must be >= 1, got {radius}")
@@ -142,6 +155,7 @@ class GatherProgram(NodeProgram):
         self.is_mis = is_mis
         self.sample = sample
         self.radius = radius
+        self.strict = strict
         # CLAIM state: best (distance, owner) label and the route neighbour.
         self.dist = 0 if is_mis else None
         self.owner = node_id if is_mis else None
@@ -169,7 +183,7 @@ class GatherProgram(NodeProgram):
         if self._warm_start is not None:
             # CLAIM fixpoint preloaded: start routing immediately, with the
             # same round-relative dynamics as the cold run's ROUTE entry.
-            if self.owner is None:
+            if self.owner is None and self.strict:
                 raise SimulationError(
                     f"node {self.node_id} has no MIS owner within r="
                     f"{self.radius}: the MIS is not maximal on G^r"
@@ -202,7 +216,7 @@ class GatherProgram(NodeProgram):
             self._announce(ctx)
         if ctx.quiet_rounds >= 1:
             # Wave settled network-wide: start routing, counted locally.
-            if self.owner is None:
+            if self.owner is None and self.strict:
                 raise SimulationError(
                     f"node {self.node_id} has no MIS owner within r="
                     f"{self.radius}: the MIS is not maximal on G^r"
@@ -242,21 +256,37 @@ class GatherProgram(NodeProgram):
             return
         self._forward(ctx)
         if not self.is_mis and self.bundle:
-            raise SimulationError(
-                f"node {self.node_id} still holds {len(self.bundle)} samples "
-                f"after r={self.radius} routing rounds"
+            if self.strict:
+                raise SimulationError(
+                    f"node {self.node_id} still holds {len(self.bundle)} "
+                    f"samples after r={self.radius} routing rounds"
+                )
+            # Timeout path: report what never made it instead of dying.
+            ctx.halt(
+                (self.owner, tuple(self.collected), tuple(self.bundle))
             )
-        ctx.halt((self.owner, tuple(self.collected)))
+            self.bundle = []
+            return
+        if self.strict:
+            ctx.halt((self.owner, tuple(self.collected)))
+        else:
+            ctx.halt((self.owner, tuple(self.collected), ()))
 
 
 @dataclass(frozen=True)
 class ProtocolGatherResult:
-    """Outcome of the message-passing gather."""
+    """Outcome of the message-passing gather.
+
+    ``undelivered`` is only populated by non-strict runs: per-node tuples
+    of ``(origin, sample)`` pairs stranded by the routing deadline (empty
+    everywhere on a reliable network).
+    """
 
     owner: Tuple[int, ...]
     samples_at: Dict[int, Tuple[Tuple[int, int], ...]]
     rounds: int
     report: EngineReport
+    undelivered: Tuple[Tuple[Tuple[int, int], ...], ...] = ()
 
 
 def run_gather_protocol(
@@ -266,6 +296,8 @@ def run_gather_protocol(
     radius: int,
     rng: SeedLike = None,
     warm_start: bool = False,
+    strict: bool = True,
+    faults: Optional[FaultPlan] = None,
 ) -> ProtocolGatherResult:
     """Execute CLAIM + ROUTE over *topology* and return who got what.
 
@@ -273,6 +305,11 @@ def run_gather_protocol(
     ``warm_start=True`` preloads the CLAIM fixpoint (structurally
     computed) and runs only the ROUTE phase; assignments are identical
     (tested), but ``rounds`` then excludes the claim wave.
+
+    ``strict=False`` switches every node to the timeout path: instead of
+    raising when samples miss the ``r``-round routing deadline (which a
+    ``faults`` plan can force), nodes report the stranded bundles in
+    ``result.undelivered`` and the run completes gracefully.
     """
     if len(mis) != topology.k or len(samples) != topology.k:
         raise ParameterError("mis and samples must cover every node")
@@ -281,6 +318,7 @@ def run_gather_protocol(
         bandwidth_bits=None,
         max_rounds=50 * (radius + topology.diameter_upper_bound() + 10),
         deadlock_quiet_rounds=radius + 6,
+        faults=faults,
     )
     views = _claim_fixpoint(topology, mis, radius) if warm_start else None
     report = engine.run(
@@ -290,13 +328,28 @@ def run_gather_protocol(
             sample=int(samples[v]),
             radius=radius,
             warm_start=None if views is None else views[v],
+            strict=strict,
         ),
         rng,
     )
-    owners = tuple(out[0] for out in report.outputs)
+    # Crashed nodes (fault plans only) never halt and leave a None output.
+    owners = tuple(
+        None if out is None else out[0] for out in report.outputs
+    )
     samples_at = {
-        v: report.outputs[v][1] for v in range(topology.k) if mis[v]
+        v: report.outputs[v][1]
+        for v in range(topology.k)
+        if mis[v] and report.outputs[v] is not None
     }
+    undelivered: Tuple[Tuple[Tuple[int, int], ...], ...] = ()
+    if not strict:
+        undelivered = tuple(
+            () if out is None else out[2] for out in report.outputs
+        )
     return ProtocolGatherResult(
-        owner=owners, samples_at=samples_at, rounds=report.rounds, report=report
+        owner=owners,
+        samples_at=samples_at,
+        rounds=report.rounds,
+        report=report,
+        undelivered=undelivered,
     )

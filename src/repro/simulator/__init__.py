@@ -12,6 +12,8 @@ round-complexity bounds become empirical observables:
 - :mod:`repro.simulator.node` — the node-program API and execution context.
 - :mod:`repro.simulator.engine` — the round engine with CONGEST bandwidth
   enforcement and deadlock detection.
+- :mod:`repro.simulator.faults` — deterministic fault injection: seeded
+  message drops, delivery delays, and crash-stop schedules.
 - :mod:`repro.simulator.primitives` — reusable protocols: max-ID flooding
   (leader election + BFS tree), convergecast aggregation, broadcast.
 """
@@ -22,6 +24,7 @@ from repro.simulator.engine import (
     RoundStats,
     SynchronousEngine,
 )
+from repro.simulator.faults import DelayDistribution, FaultPlan
 from repro.simulator.graph import Topology, TreeSchedule
 from repro.simulator.message import Message, bits_for_domain, bits_for_int
 from repro.simulator.node import Context, NodeProgram
@@ -43,6 +46,8 @@ __all__ = [
     "SynchronousEngine",
     "EngineReport",
     "RoundStats",
+    "FaultPlan",
+    "DelayDistribution",
     "FloodMaxProgram",
     "ConvergecastSumProgram",
     "BroadcastProgram",

@@ -21,6 +21,13 @@ preallocated once and recycled across rounds (no per-round dict churn),
 the live-node ordering is maintained incrementally instead of re-sorted
 every round, and per-round message/bit totals are computed once during
 delivery and shared between the report totals and the optional trace.
+
+**Fault injection**: an optional :class:`~repro.simulator.faults.FaultPlan`
+is applied at delivery time — per-edge message drops, fixed delay
+distributions, and crash-stop schedules — with drop/delay/crash counts
+surfaced in the report.  The plan draws from its own stream keyed by
+``(seed, edge, round)``, so a run with ``FaultPlan.none()`` (or no plan)
+is bit-identical to the fault-free engine.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.exceptions import BandwidthExceededError, SimulationError
 from repro.rng import SeedLike, ensure_rng, spawn_lazy
+from repro.simulator.faults import FaultPlan
 from repro.simulator.graph import Topology
 from repro.simulator.message import Message
 from repro.simulator.node import Context, NodeProgram
@@ -48,7 +56,8 @@ class RoundStats:
     """One round's activity, recorded when tracing is enabled.
 
     ``quiet`` marks globally silent rounds — the phase boundaries of the
-    flooding-based protocols.
+    flooding-based protocols.  The fault counters are zero unless the
+    engine ran with a :class:`~repro.simulator.faults.FaultPlan`.
     """
 
     round: int
@@ -56,6 +65,9 @@ class RoundStats:
     bits: int
     active_nodes: int
     quiet: bool
+    drops: int = 0
+    delays: int = 0
+    crashes: int = 0
 
 
 @dataclass
@@ -76,10 +88,19 @@ class EngineReport:
     outputs:
         Final per-node outputs, indexed by node ID.
     halted:
-        Whether every node halted (False = stopped at ``max_rounds``).
+        Whether every node terminated — halted voluntarily or (under a
+        fault plan) crashed.  ``False`` means the run stopped at
+        ``max_rounds``.
     trace:
         Per-round :class:`RoundStats` when the engine was constructed with
         ``record_trace=True``; empty otherwise.
+    drops:
+        Messages lost to the fault plan (including messages addressed to
+        already-crashed nodes).
+    delays:
+        Messages the fault plan deferred past their natural delivery round.
+    crashes:
+        Nodes killed by the fault plan's crash-stop schedule.
     """
 
     rounds: int
@@ -89,6 +110,9 @@ class EngineReport:
     outputs: List[Any]
     halted: bool
     trace: List[RoundStats] = field(default_factory=list)
+    drops: int = 0
+    delays: int = 0
+    crashes: int = 0
 
 
 class SynchronousEngine:
@@ -110,7 +134,13 @@ class SynchronousEngine:
         before raising :class:`~repro.exceptions.SimulationError`.
         Protocols with timer-driven silent stretches (token forwarding,
         bounded-radius gather) should pass their longest legal silence
-        plus slack.
+        plus slack.  Quiet rounds during which some live node holds a
+        scheduled wakeup — or a fault-delayed message is still in flight
+        — are exempt: sleeping through idle waits is legal, not deadlock.
+    faults:
+        Optional :class:`~repro.simulator.faults.FaultPlan` applied at
+        delivery time.  ``None`` or a null plan keeps the fault-free fast
+        path, bit-identical to an engine without the parameter.
     """
 
     def __init__(
@@ -120,6 +150,7 @@ class SynchronousEngine:
         max_rounds: int = 1_000_000,
         record_trace: bool = False,
         deadlock_quiet_rounds: int = DEFAULT_DEADLOCK_QUIET_ROUNDS,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if bandwidth_bits is not None and bandwidth_bits < 1:
             raise SimulationError(
@@ -136,6 +167,16 @@ class SynchronousEngine:
         self.max_rounds = max_rounds
         self.record_trace = record_trace
         self.deadlock_quiet_rounds = deadlock_quiet_rounds
+        if faults is not None:
+            for node in faults.crashes:
+                if not 0 <= node < topology.k:
+                    raise SimulationError(
+                        f"crash schedule names node {node}, outside the "
+                        f"topology's range [0, {topology.k})"
+                    )
+        # A null plan takes the fault-free fast path: delivery then runs
+        # the exact pre-fault inner loop, bit-identical to no plan at all.
+        self.faults = None if faults is None or faults.is_null else faults
 
     def run(
         self,
@@ -173,8 +214,37 @@ class SynchronousEngine:
         live_order = list(range(k))
         live_stale = False
         pending_wakes: Dict[int, List[int]] = {}
+        # Wake accounting.  ``wake_round[v]`` is the authoritative round v
+        # is scheduled to wake at (None = no pending wake): it is cleared
+        # whenever v runs — a wake must be re-requested by the run it woke
+        # (clear-and-rearm) — so a node woken early by mail does not keep a
+        # stale timer.  ``appended_for[v]`` tracks the round list v
+        # physically sits in, so re-arming to the same round never appends
+        # a duplicate entry; entries whose owner re-armed elsewhere are
+        # skipped when their round's list is popped.
+        wake_round: List[Optional[int]] = [None] * k
+        appended_for: List[Optional[int]] = [None] * k
+
+        faults = self.faults
+        crash_schedule: Dict[int, tuple] = (
+            faults.crash_schedule() if faults is not None else {}
+        )
+        crashed = [False] * k
+        delayed: Dict[int, List[Message]] = {}
+        drops = 0
+        delays = 0
+        crashes = 0
+        for v in crash_schedule.pop(0, ()):
+            # Crash-stop at round 0: the node never even starts.
+            alive[v] = False
+            crashed[v] = True
+            live_count -= 1
+            live_stale = True
+            crashes += 1
 
         for v, prog in enumerate(programs):
+            if crashed[v]:
+                continue
             ctx = contexts[v]
             prog.on_start(ctx)
             if ctx._halted:
@@ -182,8 +252,12 @@ class SynchronousEngine:
                 live_count -= 1
                 live_stale = True
             elif ctx._wake_at is not None:
+                wake_round[v] = ctx._wake_at
+                appended_for[v] = ctx._wake_at
                 pending_wakes.setdefault(ctx._wake_at, []).append(v)
-        in_flight = self._collect(contexts, range(k))
+        in_flight = self._collect(
+            contexts, (v for v in range(k) if not crashed[v])
+        )
 
         # Recycled per-node inboxes: `touched` lists the nodes whose inbox
         # is non-empty this round (appended exactly once, on first message).
@@ -201,7 +275,7 @@ class SynchronousEngine:
         max_rounds = self.max_rounds
 
         while rounds < max_rounds:
-            if live_count == 0 and not in_flight:
+            if live_count == 0 and not in_flight and not delayed:
                 return EngineReport(
                     rounds=rounds,
                     messages=messages,
@@ -210,12 +284,56 @@ class SynchronousEngine:
                     outputs=[ctx.output for ctx in contexts],
                     halted=True,
                     trace=trace,
+                    drops=drops,
+                    delays=delays,
+                    crashes=crashes,
                 )
             rounds += 1
-            round_messages = len(in_flight)
+            round_drops = 0
+            round_delays = 0
+            round_crashes = 0
+            if faults is None:
+                deliver = in_flight
+            else:
+                # Crash-stop before delivery: a node dying at round r
+                # neither receives nor acts at r, but its own messages
+                # already in flight still arrive.
+                for v in crash_schedule.pop(rounds, ()):
+                    if alive[v]:
+                        alive[v] = False
+                        crashed[v] = True
+                        live_count -= 1
+                        live_stale = True
+                        wake_round[v] = None
+                        round_crashes += 1
+                crashes += round_crashes
+                deliver = delayed.pop(rounds, [])
+                if in_flight:
+                    # Occurrence index per directed edge keeps the fault
+                    # draw well-defined for multi-message LOCAL edges.
+                    edge_seen: Dict[Any, int] = {}
+                    for msg in in_flight:
+                        src, dst = msg[0], msg[1]
+                        key = (src, dst)
+                        idx = edge_seen.get(key, 0)
+                        edge_seen[key] = idx + 1
+                        if crashed[dst] or faults.should_drop(
+                            src, dst, rounds, idx
+                        ):
+                            round_drops += 1
+                            continue
+                        extra = faults.delay_rounds(src, dst, rounds, idx)
+                        if extra > 0:
+                            delayed.setdefault(rounds + extra, []).append(msg)
+                            round_delays += 1
+                        else:
+                            deliver.append(msg)
+                drops += round_drops
+                delays += round_delays
+            round_messages = len(deliver)
             round_bits = 0
             if round_messages:
-                for msg in in_flight:
+                for msg in deliver:
                     # Tuple indexing: msg[1] is .dst, msg[3] is .bits.
                     box = inboxes[msg[1]]
                     if not box:
@@ -230,18 +348,37 @@ class SynchronousEngine:
                 quiet_streak = 0
             else:
                 quiet_streak += 1
-                if quiet_streak >= deadlock_limit:
-                    live_nodes = [v for v in range(k) if alive[v]]
-                    sample = live_nodes[:8]
-                    raise SimulationError(
-                        f"deadlock: {quiet_streak} silent rounds with live "
-                        f"nodes {sample}{'...' if len(live_nodes) > 8 else ''} "
-                        f"at round {rounds}"
+                if quiet_streak >= deadlock_limit and not delayed:
+                    # Sleeping toward a scheduled wakeup is legal silence,
+                    # not deadlock: only raise when no live node has a
+                    # pending wake (this round's wakes have not fired yet
+                    # at this point) and no delayed mail is due.
+                    has_wake = any(
+                        r >= rounds
+                        and any(alive[v] and wake_round[v] == r for v in vs)
+                        for r, vs in pending_wakes.items()
                     )
+                    if not has_wake:
+                        live_nodes = [v for v in range(k) if alive[v]]
+                        sample = live_nodes[:8]
+                        raise SimulationError(
+                            f"deadlock: {quiet_streak} silent rounds with live "
+                            f"nodes {sample}{'...' if len(live_nodes) > 8 else ''} "
+                            f"at round {rounds}"
+                        )
             # Scheduling contract: a node runs when it has mail, after a
             # globally quiet round (phase transitions), or at a wakeup it
             # requested.  Anything else would be a spurious no-op call.
             due = pending_wakes.pop(rounds, None)
+            if due is not None:
+                # The physical entries are consumed; entries whose owner
+                # re-armed to a different round (or halted) are stale.
+                fired = []
+                for v in due:
+                    appended_for[v] = None
+                    if wake_round[v] == rounds:
+                        fired.append(v)
+                due = fired
             if quiet_streak > 0:
                 if live_stale:
                     live_order = [v for v in live_order if alive[v]]
@@ -256,8 +393,10 @@ class SynchronousEngine:
                 active = sorted(v for v in touched if alive[v])
             for v in active:
                 ctx = contexts[v]
-                if ctx._wake_at is not None and ctx._wake_at <= rounds:
-                    ctx._wake_at = None
+                # Clear-and-rearm: any run consumes the node's pending
+                # wake; on_round must re-request to keep a future timer.
+                ctx._wake_at = None
+                wake_round[v] = None
                 ctx.round = rounds
                 ctx.quiet_rounds = quiet_streak
                 programs[v].on_round(ctx, inboxes[v])
@@ -265,8 +404,13 @@ class SynchronousEngine:
                     alive[v] = False
                     live_count -= 1
                     live_stale = True
-                elif ctx._wake_at is not None:
-                    pending_wakes.setdefault(ctx._wake_at, []).append(v)
+                else:
+                    target = ctx._wake_at
+                    if target is not None and target > rounds:
+                        wake_round[v] = target
+                        if appended_for[v] != target:
+                            appended_for[v] = target
+                            pending_wakes.setdefault(target, []).append(v)
             if record_trace:
                 trace.append(
                     RoundStats(
@@ -275,6 +419,9 @@ class SynchronousEngine:
                         bits=round_bits,
                         active_nodes=len(active),
                         quiet=quiet_streak > 0,
+                        drops=round_drops,
+                        delays=round_delays,
+                        crashes=round_crashes,
                     )
                 )
             in_flight = self._collect(contexts, active)
@@ -288,8 +435,13 @@ class SynchronousEngine:
             total_bits=total_bits,
             max_edge_bits_per_round=max_edge_bits,
             outputs=[ctx.output for ctx in contexts],
-            halted=all(ctx.halted for ctx in contexts),
+            halted=all(
+                ctx.halted or crashed[v] for v, ctx in enumerate(contexts)
+            ),
             trace=trace,
+            drops=drops,
+            delays=delays,
+            crashes=crashes,
         )
 
     def _collect(

@@ -1,0 +1,193 @@
+"""Deterministic fault injection for the synchronous engine.
+
+The engine models a perfect network by default; a :class:`FaultPlan` makes
+it imperfect in three seeded, bit-reproducible ways:
+
+- **message drops** — each delivery is lost independently with a per-edge
+  probability (a global default plus per-edge overrides);
+- **message delays** — each surviving delivery is deferred by extra rounds
+  drawn from a fixed :class:`DelayDistribution`;
+- **crash-stop failures** — a scheduled node dies at a given round and
+  never acts again (its in-flight messages still deliver; messages
+  addressed to it afterwards are dropped).
+
+Determinism contract
+--------------------
+Every random decision is a pure function of ``(seed, edge, round, index)``
+— the plan's own private stream, derived with a SplitMix64-style integer
+hash completely independent of the engine's node RNGs and of message
+processing order.  Consequences:
+
+- the same plan replayed over the same protocol produces bit-identical
+  :class:`~repro.simulator.engine.EngineReport` results, across runs and
+  across warm/cold protocol starts;
+- :meth:`FaultPlan.none` (or passing no plan) leaves the engine's fast
+  path untouched — the run is bit-identical to a fault-free engine;
+- two plans differing only in ``seed`` give independent fault draws.
+
+``index`` disambiguates multiple same-edge messages in one LOCAL-model
+round (CONGEST permits only one); it is the message's occurrence number
+on that directed edge in that delivery round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import ParameterError
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+# Salts separating the drop draw from the delay draw at one key.
+_SALT_DROP = 0xD1B54A32D192ED03
+_SALT_DELAY = 0x8BB84B93962EACC9
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finaliser: a bijective avalanche on 64-bit words."""
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * _MIX1) & _MASK64
+    x ^= x >> 27
+    x = (x * _MIX2) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def _uniform(seed: int, src: int, dst: int, round_: int, index: int, salt: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` keyed by the full tuple."""
+    acc = _mix64(seed ^ salt)
+    acc = _mix64(acc + ((src + 1) * _GOLDEN & _MASK64))
+    acc = _mix64(acc + ((dst + 1) * _GOLDEN & _MASK64))
+    acc = _mix64(acc + ((round_ + 1) * _GOLDEN & _MASK64))
+    acc = _mix64(acc + ((index + 1) * _GOLDEN & _MASK64))
+    return (acc >> 11) / float(1 << 53)
+
+
+@dataclass(frozen=True)
+class DelayDistribution:
+    """A fixed distribution over extra delivery delays (in rounds).
+
+    ``outcomes`` maps each extra-delay value to its probability; the
+    probabilities must sum to 1 (within float tolerance) and a zero-delay
+    outcome is implied by any missing mass.  Example: 80 % on-time, 15 %
+    one round late, 5 % three rounds late::
+
+        DelayDistribution(((1, 0.15), (3, 0.05)))
+    """
+
+    outcomes: Tuple[Tuple[int, float], ...]
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for delay, prob in self.outcomes:
+            if delay < 1:
+                raise ParameterError(
+                    f"delay outcomes must be >= 1 round, got {delay}"
+                )
+            if not 0.0 <= prob <= 1.0:
+                raise ParameterError(f"delay probability {prob} outside [0, 1]")
+            total += prob
+        if total > 1.0 + 1e-9:
+            raise ParameterError(
+                f"delay probabilities sum to {total}, must be <= 1"
+            )
+
+    def sample(self, u: float) -> int:
+        """Map a uniform draw to an extra delay via the fixed CDF order."""
+        acc = 0.0
+        for delay, prob in self.outcomes:
+            acc += prob
+            if u < acc:
+                return delay
+        return 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic schedule of network faults.
+
+    Parameters
+    ----------
+    seed:
+        Root of the plan's private fault stream.  Two plans with the same
+        faults but different seeds produce independent drop/delay draws.
+    drop_prob:
+        Default i.i.d. per-delivery drop probability for every directed
+        edge.
+    edge_drop:
+        Per-directed-edge ``(src, dst) -> probability`` overrides.
+    delay:
+        Optional :class:`DelayDistribution` applied to every surviving
+        delivery.
+    crashes:
+        Crash-stop schedule ``node -> round``: the node acts normally in
+        rounds before its crash round and never again from it on
+        (``on_start`` counts as round 0).
+    """
+
+    seed: int = 0
+    drop_prob: float = 0.0
+    edge_drop: Mapping[Tuple[int, int], float] = field(default_factory=dict)
+    delay: Optional[DelayDistribution] = None
+    crashes: Mapping[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_prob <= 1.0:
+            raise ParameterError(
+                f"drop_prob must be in [0, 1], got {self.drop_prob}"
+            )
+        for edge, prob in self.edge_drop.items():
+            if not 0.0 <= prob <= 1.0:
+                raise ParameterError(
+                    f"edge_drop[{edge}] = {prob} outside [0, 1]"
+                )
+        for node, round_ in self.crashes.items():
+            if round_ < 0:
+                raise ParameterError(
+                    f"crash round for node {node} must be >= 0, got {round_}"
+                )
+
+    @staticmethod
+    def none() -> "FaultPlan":
+        """The null plan: injecting it is bit-identical to no plan at all."""
+        return FaultPlan()
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan can never produce a fault."""
+        return (
+            self.drop_prob == 0.0
+            and not any(p > 0.0 for p in self.edge_drop.values())
+            and (self.delay is None or not self.delay.outcomes)
+            and not self.crashes
+        )
+
+    def drop_probability(self, src: int, dst: int) -> float:
+        """Effective drop probability on the directed edge ``src -> dst``."""
+        return self.edge_drop.get((src, dst), self.drop_prob)
+
+    def should_drop(self, src: int, dst: int, round_: int, index: int = 0) -> bool:
+        """Whether the delivery keyed by ``(edge, round, index)`` is lost."""
+        prob = self.drop_probability(src, dst)
+        if prob <= 0.0:
+            return False
+        return _uniform(self.seed, src, dst, round_, index, _SALT_DROP) < prob
+
+    def delay_rounds(self, src: int, dst: int, round_: int, index: int = 0) -> int:
+        """Extra delivery delay (0 = on time) for the keyed delivery."""
+        if self.delay is None or not self.delay.outcomes:
+            return 0
+        return self.delay.sample(
+            _uniform(self.seed, src, dst, round_, index, _SALT_DELAY)
+        )
+
+    def crash_schedule(self) -> Dict[int, Tuple[int, ...]]:
+        """The crash schedule grouped by round: ``round -> (nodes...)``."""
+        by_round: Dict[int, list] = {}
+        for node in sorted(self.crashes):
+            by_round.setdefault(self.crashes[node], []).append(node)
+        return {r: tuple(vs) for r, vs in by_round.items()}

@@ -108,6 +108,13 @@ class Context:
         or after a globally quiet round; wakeups cover the remaining case —
         timer-driven behaviour such as the token-forwarding phase, which
         must act every round for exactly ``τ`` rounds.
+
+        Wakeups are *consumed by running*: whenever the node runs — at the
+        requested round, woken early by mail, or swept in after a quiet
+        round — its pending wake is cleared, and ``on_round`` must call
+        :meth:`request_wakeup` again to keep a future timer armed
+        (clear-and-rearm).  Requests for the current or a past round are
+        ignored by the engine.
         """
         if self._wake_at is None or round_number < self._wake_at:
             self._wake_at = round_number

@@ -1,0 +1,128 @@
+"""Bit-reproducibility contracts of the fault-injection layer.
+
+Two guarantees, both load-bearing for the benchmark suite:
+
+1. **Null-plan identity** — running any protocol with
+   ``faults=FaultPlan.none()`` (or no plan) is bit-identical to the
+   pre-fault engine.  The E5/E6/E7 snapshots below were captured on the
+   engine *before* the fault layer existed; they must keep matching.
+2. **Plan determinism** — the same (rng seed, fault plan) pair replays to
+   a bit-identical :class:`EngineReport`, run after run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.congest import CongestUniformityTester, HardenedCongestTester
+from repro.congest.token_packaging import run_token_packaging
+from repro.distributions import far_family, uniform
+from repro.localmodel import luby_mis
+from repro.localmodel.gather_protocol import run_gather_protocol
+from repro.simulator import FaultPlan, Topology
+
+
+def h(x) -> str:
+    return hashlib.sha256(repr(x).encode()).hexdigest()[:16]
+
+
+NULL_PLANS = [None, FaultPlan.none()]
+IDS = ["no-plan", "null-plan"]
+
+
+class TestPreFaultSnapshots:
+    """E5/E6/E7 snapshots captured on the pre-fault-layer engine."""
+
+    @pytest.mark.parametrize("plan", NULL_PLANS, ids=IDS)
+    def test_e5_token_packaging(self, plan):
+        topo = Topology.grid(6, 6)
+        outcomes, rep = run_token_packaging(
+            topo, list(range(topo.k)), 5, rng=7, faults=plan
+        )
+        assert (
+            rep.rounds,
+            rep.messages,
+            rep.total_bits,
+            rep.max_edge_bits_per_round,
+        ) == (29, 860, 9200, 12)
+        assert h(outcomes) == "032d74e12b38a03f"
+        assert (rep.drops, rep.delays, rep.crashes) == (0, 0, 0)
+
+    @pytest.mark.parametrize("plan", NULL_PLANS, ids=IDS)
+    def test_e6_congest_tester(self, plan):
+        tester = CongestUniformityTester.solve(500, 1500, 0.9, samples_per_node=4)
+        topo = Topology.star(1500)
+        far = far_family("paninski", 500, 0.9, rng=0)
+        v, rep = tester.run(topo, far, rng=11, faults=plan)
+        assert (
+            v,
+            rep.rounds,
+            rep.messages,
+            rep.total_bits,
+            rep.max_edge_bits_per_round,
+        ) == (False, 17, 17984, 226300, 22)
+        assert h(rep.outputs) == "1e672e3378e51ff2"
+
+    @pytest.mark.parametrize("plan", NULL_PLANS, ids=IDS)
+    def test_e7_local_gather(self, plan):
+        topo = Topology.ring(48)
+        power = topo.power_graph(4)
+        mis, _ = luby_mis(power, rng=3)
+        samples = np.random.default_rng(5).integers(0, 500, size=topo.k)
+        res = run_gather_protocol(topo, mis, samples, 4, rng=1, faults=plan)
+        assert (res.rounds, res.report.messages, res.report.total_bits) == (
+            9,
+            179,
+            8352,
+        )
+        assert h(res.owner) == "3fbc2b81e2c4d272"
+        assert h(sorted(res.samples_at.items())) == "4fb97ff089786efe"
+
+
+class TestPlanDeterminism:
+    def test_hardened_tester_replays_bit_identically(self):
+        tester = HardenedCongestTester.solve(
+            100, 100, 0.9, p=0.45, samples_per_node=16
+        )
+        topo = Topology.ring(100)
+        dist = uniform(100)
+        plan = FaultPlan(seed=42, drop_prob=0.05, crashes={7: 20})
+        runs = [tester.run(topo, dist, rng=5, faults=plan) for _ in range(2)]
+        assert repr(runs[0].report) == repr(runs[1].report)
+        assert runs[0].verdict == runs[1].verdict
+        assert runs[0].outcomes == runs[1].outcomes
+        assert runs[0].report.drops > 0
+        assert runs[0].report.crashes == 1
+
+    def test_gather_replays_bit_identically_under_faults(self):
+        topo = Topology.ring(48)
+        power = topo.power_graph(4)
+        mis, _ = luby_mis(power, rng=3)
+        samples = np.random.default_rng(5).integers(0, 500, size=topo.k)
+        plan = FaultPlan(seed=9, drop_prob=0.1)
+        runs = [
+            run_gather_protocol(
+                topo, mis, samples, 4, rng=1, strict=False, faults=plan
+            )
+            for _ in range(2)
+        ]
+        assert repr(runs[0].report) == repr(runs[1].report)
+        assert runs[0].undelivered == runs[1].undelivered
+        assert runs[0].report.drops > 0
+
+    def test_warm_and_cold_gather_agree_under_same_plan(self):
+        """Warm start changes the rounds run, not the fault stream's keys
+        for the routing phase it shares — owners must match cold."""
+        topo = Topology.ring(48)
+        power = topo.power_graph(4)
+        mis, _ = luby_mis(power, rng=3)
+        samples = np.random.default_rng(5).integers(0, 500, size=topo.k)
+        cold = run_gather_protocol(topo, mis, samples, 4, rng=1, strict=False)
+        warm = run_gather_protocol(
+            topo, mis, samples, 4, rng=1, warm_start=True, strict=False
+        )
+        assert warm.owner == cold.owner
+        assert warm.samples_at == cold.samples_at

@@ -149,6 +149,163 @@ class TestScheduling:
         assert report.rounds == 1
 
 
+class LongSleeper(NodeProgram):
+    """Sleeps straight through more quiet rounds than the deadlock limit."""
+
+    def __init__(self, node_id: int, wake_at: int) -> None:
+        self.node_id = node_id
+        self.wake_at = wake_at
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.request_wakeup(self.wake_at)
+
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        if ctx.round >= self.wake_at:
+            ctx.halt(ctx.round)
+        else:
+            ctx.request_wakeup(self.wake_at)
+
+
+class EveryRoundSleeper(NodeProgram):
+    """Re-arms a one-round timer each round; every round is quiet."""
+
+    def __init__(self, node_id: int, until: int) -> None:
+        self.node_id = node_id
+        self.until = until
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.request_wakeup(1)
+
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        if ctx.round >= self.until:
+            ctx.halt(ctx.round)
+        else:
+            ctx.request_wakeup(ctx.round + 1)
+
+
+class RearmOnMail(NodeProgram):
+    """Node 0 arms a far timer; early mail moves it earlier (clear-and-rearm)."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.target = 10
+        self.runs: List[int] = []
+
+    def on_start(self, ctx: Context) -> None:
+        if self.node_id == 0:
+            ctx.request_wakeup(self.target)
+        else:
+            ctx.send(ctx.neighbors[0], "poke", bits=1)
+
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        self.runs.append(ctx.round)
+        if self.node_id != 0:
+            ctx.halt()
+            return
+        if inbox:
+            self.target = 4
+        if ctx.round >= self.target:
+            ctx.halt(ctx.round)
+        else:
+            ctx.request_wakeup(self.target)
+
+
+class PingPongTimer(NodeProgram):
+    """Node 0 re-arms the *same* wake round on every mail delivery."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.runs: List[int] = []
+
+    def on_start(self, ctx: Context) -> None:
+        if self.node_id == 1:
+            ctx.send(ctx.neighbors[0], "ping", bits=1)
+
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        self.runs.append(ctx.round)
+        if self.node_id == 1:
+            if ctx.round < 3:
+                ctx.send(ctx.neighbors[0], "ping", bits=1)
+            else:
+                ctx.halt()
+            return
+        for m in inbox:
+            ctx.send(m.src, "pong", bits=1)
+        if ctx.round >= 8:
+            ctx.halt(tuple(self.runs))
+        else:
+            ctx.request_wakeup(8)
+
+
+class TestWakeDeadlockAccounting:
+    """Regression tests for the sleep/deadlock accounting fixes.
+
+    The pre-fix engine (a) ignored scheduled wakeups in the deadlock
+    check, so any sleep longer than ``deadlock_quiet_rounds`` raised a
+    spurious deadlock, and (b) kept a node's stale ``_wake_at`` after an
+    early mail wake and re-appended it to the pending list, accumulating
+    duplicates.  Each test here fails on that engine.
+    """
+
+    def test_sleep_past_quiet_limit_is_not_deadlock(self):
+        # deadlock_quiet_rounds defaults to 3; sleep through 3 + 2 = 5
+        # quiet rounds.  The pre-fix engine raises at the third.
+        topo = Topology.line(2)
+        report = SynchronousEngine(topo).run(lambda v: LongSleeper(v, 6), rng=0)
+        assert report.halted
+        assert report.outputs == [6, 6]
+        assert report.rounds == 6
+
+    def test_every_round_rearm_is_not_deadlock(self):
+        # A wake scheduled for the *current* round has not fired when the
+        # deadlock check runs; it must still count as a pending wake.
+        topo = Topology.line(2)
+        report = SynchronousEngine(topo).run(
+            lambda v: EveryRoundSleeper(v, 8), rng=0
+        )
+        assert report.halted
+        assert report.outputs == [8, 8]
+
+    def test_deadlock_still_raised_without_wakes(self):
+        # The exemption must not swallow genuine deadlocks.
+        topo = Topology.line(2)
+        with pytest.raises(SimulationError, match="deadlock"):
+            SynchronousEngine(topo).run(lambda v: Silent(v), rng=0)
+
+    def test_mail_wake_rearms_to_earlier_round(self):
+        # Node 0 arms round 10, gets mail at round 1, re-arms to round 4:
+        # it must halt at 4, not 10, and run at most once per round.
+        topo = Topology.line(2)
+        programs = {}
+
+        def factory(v):
+            programs[v] = RearmOnMail(v)
+            return programs[v]
+
+        report = SynchronousEngine(topo).run(factory, rng=0)
+        assert report.halted
+        assert report.outputs[0] == 4
+        assert report.rounds == 4
+        runs = programs[0].runs
+        assert len(runs) == len(set(runs)), f"duplicate invocations: {runs}"
+
+    def test_rearming_same_round_never_duplicates(self):
+        # Node 0 re-arms wake(8) on every ping; the pre-fix engine appended
+        # a fresh pending entry each time and fired on_round repeatedly.
+        topo = Topology.line(2)
+        programs = {}
+
+        def factory(v):
+            programs[v] = PingPongTimer(v)
+            return programs[v]
+
+        report = SynchronousEngine(topo).run(factory, rng=0)
+        assert report.halted
+        runs = programs[0].runs
+        assert len(runs) == len(set(runs)), f"duplicate invocations: {runs}"
+        assert report.outputs[0][-1] == 8
+
+
 class TestContextGuards:
     def test_send_to_non_neighbor(self):
         topo = Topology.line(3)

@@ -1,0 +1,218 @@
+"""Tests for deterministic fault injection (drops, delays, crash-stop)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.exceptions import ParameterError, SimulationError
+from repro.simulator import (
+    DelayDistribution,
+    FaultPlan,
+    Message,
+    SynchronousEngine,
+    Topology,
+)
+from repro.simulator.node import Context, NodeProgram
+
+
+class BroadcastThenReport(NodeProgram):
+    """Broadcasts once at start, reports (src, round) of all mail at a deadline."""
+
+    def __init__(self, node_id: int, deadline: int = 4) -> None:
+        self.node_id = node_id
+        self.deadline = deadline
+        self.heard: List[tuple] = []
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast(self.node_id, bits=8)
+        ctx.request_wakeup(self.deadline)
+
+    def on_round(self, ctx: Context, inbox: List[Message]) -> None:
+        self.heard.extend((m.src, ctx.round) for m in inbox)
+        if ctx.round >= self.deadline:
+            ctx.halt(tuple(sorted(self.heard)))
+        else:
+            ctx.request_wakeup(self.deadline)
+
+
+class TestDelayDistributionValidation:
+    def test_zero_delay_outcome_rejected(self):
+        with pytest.raises(ParameterError, match=">= 1 round"):
+            DelayDistribution(((0, 0.5),))
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ParameterError, match="outside"):
+            DelayDistribution(((1, -0.1),))
+
+    def test_mass_over_one_rejected(self):
+        with pytest.raises(ParameterError, match="sum"):
+            DelayDistribution(((1, 0.7), (2, 0.6)))
+
+    def test_sample_follows_cdf_order(self):
+        dist = DelayDistribution(((1, 0.25), (3, 0.25)))
+        assert dist.sample(0.0) == 1
+        assert dist.sample(0.24) == 1
+        assert dist.sample(0.3) == 3
+        assert dist.sample(0.6) == 0  # missing mass = on time
+
+
+class TestFaultPlanValidation:
+    def test_drop_prob_out_of_range(self):
+        with pytest.raises(ParameterError, match="drop_prob"):
+            FaultPlan(drop_prob=1.5)
+
+    def test_edge_drop_out_of_range(self):
+        with pytest.raises(ParameterError, match="edge_drop"):
+            FaultPlan(edge_drop={(0, 1): -0.2})
+
+    def test_negative_crash_round(self):
+        with pytest.raises(ParameterError, match="crash round"):
+            FaultPlan(crashes={3: -1})
+
+    def test_null_detection(self):
+        assert FaultPlan.none().is_null
+        assert FaultPlan(edge_drop={(0, 1): 0.0}).is_null
+        assert not FaultPlan(drop_prob=0.1).is_null
+        assert not FaultPlan(edge_drop={(0, 1): 0.5}).is_null
+        assert not FaultPlan(delay=DelayDistribution(((1, 0.1),))).is_null
+        assert not FaultPlan(crashes={0: 5}).is_null
+
+    def test_edge_override_beats_default(self):
+        plan = FaultPlan(drop_prob=0.2, edge_drop={(1, 0): 0.9})
+        assert plan.drop_probability(0, 1) == 0.2
+        assert plan.drop_probability(1, 0) == 0.9
+
+    def test_crash_schedule_groups_by_round(self):
+        plan = FaultPlan(crashes={5: 2, 1: 2, 3: 7})
+        assert plan.crash_schedule() == {2: (1, 5), 7: (3,)}
+
+
+class TestFaultStreamDeterminism:
+    def test_draws_are_pure_functions_of_the_key(self):
+        plan = FaultPlan(seed=99, drop_prob=0.5,
+                         delay=DelayDistribution(((1, 0.3), (2, 0.3))))
+        drops = [plan.should_drop(0, 1, r, 0) for r in range(100)]
+        delays = [plan.delay_rounds(0, 1, r, 0) for r in range(100)]
+        assert drops == [plan.should_drop(0, 1, r, 0) for r in range(100)]
+        assert delays == [plan.delay_rounds(0, 1, r, 0) for r in range(100)]
+        assert any(drops) and not all(drops)
+
+    def test_different_seeds_give_independent_streams(self):
+        a = FaultPlan(seed=1, drop_prob=0.5)
+        b = FaultPlan(seed=2, drop_prob=0.5)
+        assert [a.should_drop(0, 1, r, 0) for r in range(200)] != [
+            b.should_drop(0, 1, r, 0) for r in range(200)
+        ]
+
+    def test_extremes_never_and_always(self):
+        never = FaultPlan(seed=3, drop_prob=0.0)
+        always = FaultPlan(seed=3, drop_prob=1.0)
+        assert not any(never.should_drop(0, 1, r, 0) for r in range(50))
+        assert all(always.should_drop(0, 1, r, 0) for r in range(50))
+
+
+class TestEngineDrops:
+    def test_directed_edge_drop_loses_exactly_that_delivery(self):
+        topo = Topology.line(2)
+        plan = FaultPlan(edge_drop={(0, 1): 1.0})
+        report = SynchronousEngine(topo, faults=plan).run(
+            lambda v: BroadcastThenReport(v), rng=0
+        )
+        assert report.halted
+        assert report.outputs[0] == ((1, 1),)  # 1 -> 0 survives
+        assert report.outputs[1] == ()  # 0 -> 1 dropped
+        assert report.drops == 1
+        assert report.messages == 1
+
+    def test_trace_rounds_sum_to_report_counters(self):
+        topo = Topology.ring(6)
+        plan = FaultPlan(seed=5, drop_prob=0.5)
+        report = SynchronousEngine(topo, record_trace=True, faults=plan).run(
+            lambda v: BroadcastThenReport(v), rng=0
+        )
+        assert report.drops > 0
+        assert sum(s.drops for s in report.trace) == report.drops
+        assert sum(s.delays for s in report.trace) == report.delays
+        assert sum(s.crashes for s in report.trace) == report.crashes
+
+
+class TestEngineDelays:
+    def test_delayed_mail_arrives_late_and_is_counted(self):
+        topo = Topology.line(2)
+        plan = FaultPlan(delay=DelayDistribution(((2, 1.0),)))
+        report = SynchronousEngine(topo, faults=plan).run(
+            lambda v: BroadcastThenReport(v, deadline=5), rng=0
+        )
+        assert report.halted
+        # Sent for round 1, deferred two extra rounds.
+        assert report.outputs[0] == ((1, 3),)
+        assert report.outputs[1] == ((0, 3),)
+        assert report.delays == 2
+        assert report.drops == 0
+
+    def test_delayed_mail_defers_deadlock(self):
+        """In-flight delayed messages are legal silence, not deadlock."""
+        topo = Topology.line(2)
+        plan = FaultPlan(delay=DelayDistribution(((6, 1.0),)))
+        report = SynchronousEngine(topo, faults=plan).run(
+            lambda v: BroadcastThenReport(v, deadline=8), rng=0
+        )
+        assert report.halted
+        assert report.outputs[0] == ((1, 7),)
+
+
+class TestEngineCrashes:
+    def test_crash_stop_mid_run(self):
+        topo = Topology.line(3)
+        plan = FaultPlan(crashes={2: 1})
+        report = SynchronousEngine(topo, faults=plan).run(
+            lambda v: BroadcastThenReport(v), rng=0
+        )
+        # The crasher's in-flight start broadcast still delivers...
+        assert report.outputs[1] == ((0, 1), (2, 1))
+        # ...but mail addressed to it from round 1 on is dropped.
+        assert report.outputs[2] is None
+        assert report.crashes == 1
+        assert report.drops == 1
+        assert report.halted  # crashed nodes do not block termination
+
+    def test_crash_at_round_zero_skips_on_start(self):
+        topo = Topology.line(2)
+        plan = FaultPlan(crashes={1: 0})
+        report = SynchronousEngine(topo, faults=plan).run(
+            lambda v: BroadcastThenReport(v), rng=0
+        )
+        assert report.outputs[0] == ()  # node 1 never broadcast
+        assert report.outputs[1] is None
+        assert report.crashes == 1
+        assert report.drops == 1  # 0's broadcast to the corpse
+
+    def test_crash_node_out_of_range_rejected(self):
+        with pytest.raises(SimulationError, match="outside"):
+            SynchronousEngine(Topology.line(2), faults=FaultPlan(crashes={5: 1}))
+
+
+class TestNullPlanBitIdentity:
+    def test_null_plan_identical_to_no_plan(self):
+        topo = Topology.grid(4, 4)
+        base = SynchronousEngine(topo, record_trace=True).run(
+            lambda v: BroadcastThenReport(v), rng=42
+        )
+        null = SynchronousEngine(
+            topo, record_trace=True, faults=FaultPlan.none()
+        ).run(lambda v: BroadcastThenReport(v), rng=42)
+        assert repr(base) == repr(null)
+
+    def test_same_plan_same_seed_bit_identical(self):
+        topo = Topology.ring(8)
+        plan = FaultPlan(seed=7, drop_prob=0.3,
+                         delay=DelayDistribution(((1, 0.2),)), crashes={3: 2})
+        runs = [
+            SynchronousEngine(topo, record_trace=True, faults=plan).run(
+                lambda v: BroadcastThenReport(v), rng=9
+            )
+            for _ in range(2)
+        ]
+        assert repr(runs[0]) == repr(runs[1])

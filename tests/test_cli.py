@@ -35,6 +35,37 @@ class TestSolveThreshold:
         assert "error:" in err
 
 
+class TestParameterValidation:
+    """Out-of-range --eps / --p exit 2 with a clear message, not a crash."""
+
+    @pytest.mark.parametrize("eps", ["3.0", "0", "-1"])
+    def test_eps_outside_unit_l1_range_rejected(self, capsys, eps):
+        code = main(["solve-threshold", "--n", "50000", "--k", "20000",
+                     "--eps", eps])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err and "--eps" in err and "(0, 2]" in err
+
+    @pytest.mark.parametrize("p", ["0", "1", "1.5", "-0.25"])
+    def test_p_outside_open_interval_rejected(self, capsys, p):
+        code = main(["solve-threshold", "--n", "50000", "--k", "20000",
+                     "--p", p])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err and "--p" in err and "(0, 1)" in err
+
+    def test_validation_covers_other_commands(self, capsys):
+        code = main(["solve-congest", "--n", "500", "--k", "5000",
+                     "--diameter", "20", "--eps", "2.5"])
+        assert code == 2
+        assert "--eps" in capsys.readouterr().err
+
+    def test_in_range_values_accepted(self, capsys):
+        code = main(["solve-threshold", "--n", "50000", "--k", "20000",
+                     "--eps", "1.5", "--p", "0.49"])
+        assert code == 0
+
+
 class TestOtherCommands:
     def test_solve_and(self, capsys):
         code = main(

@@ -1,0 +1,49 @@
+"""Smoke-test the robustness benchmark end to end.
+
+Runs ``tools/bench_robustness.py --smoke`` as a subprocess (the way CI
+invokes it) and checks the JSON contract: the run succeeds, every
+topology is swept, and the graceful-degradation guarantee holds at the
+low-loss grid points (no lost verdicts, unanimous agreement).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_smoke_run_writes_valid_report(tmp_path):
+    out = tmp_path / "bench.json"
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "bench_robustness.py"),
+         "--smoke", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "bench_robustness/v1"
+    assert payload["smoke"] is True
+    assert set(payload["points"]) == {"star", "ring", "grid"}
+    for topology, points in payload["points"].items():
+        assert points, topology
+        for pt in points:
+            assert pt["trials"] >= 1
+            # Far-side detection is robust at every swept fault rate.
+            assert pt["error_far"] == 0.0, (topology, pt)
+            if pt["crash_fraction"] == 0.0 and pt["drop_prob"] <= 0.05:
+                assert pt["no_verdict"] == 0, (topology, pt)
+                assert pt["mean_agreement"] == 1.0, (topology, pt)
+        # The fault-free point really is fault-free.
+        base = next(
+            pt for pt in points
+            if pt["drop_prob"] == 0.0 and pt["crash_fraction"] == 0.0
+        )
+        assert base["mean_drops"] == 0.0
+        assert base["mean_missing_subtrees"] == 0.0

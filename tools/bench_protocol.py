@@ -86,7 +86,12 @@ class LegacySynchronousEngine:
         max_rounds: int = 1_000_000,
         record_trace: bool = False,
         deadlock_quiet_rounds: int = 3,
+        faults=None,
     ) -> None:
+        if faults is not None and not faults.is_null:
+            raise ValueError(
+                "the legacy baseline engine predates fault injection"
+            )
         self.topology = topology
         self.bandwidth_bits = bandwidth_bits
         self.max_rounds = max_rounds

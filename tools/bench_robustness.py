@@ -1,0 +1,175 @@
+"""Sweep the hardened CONGEST tester over a fault grid.
+
+For each benchmark topology (star / ring / grid) the sweep runs
+Monte-Carlo trials of the full hardened Theorem 1.4 protocol under a
+grid of message-drop probabilities and crash fractions, recording the
+uniform- and far-side error rates next to the engine's fault counters
+(drops, missing subtrees, token shortfall, unheard nodes).
+
+The headline check: at drop probability ≤ 0.05 with no crashes, every
+run must complete with a verdict and full network agreement — the
+hardened protocol's graceful-degradation contract.  The script exits
+non-zero if that fails.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_robustness.py            # full run
+    PYTHONPATH=src python tools/bench_robustness.py --smoke    # CI run
+
+Writes ``BENCH_robustness.json`` (override with ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.experiments import Table, robustness_sweep  # noqa: E402
+
+BASE_SEED = 2018  # PODC year; any fixed value works
+
+# Workload: the smallest Theorem 1.4 instance feasible at p = 1/3 with a
+# benchmark-sized network (solver yields tau = 6, 640 expected packages).
+N = 200
+K = 60
+EPS = 0.9
+P = 1.0 / 3.0
+SAMPLES_PER_NODE = 64
+
+
+def write_results_table(all_points: dict) -> None:
+    """Render the grid sweep as the E14 table for EXPERIMENTS.md."""
+    table = Table(
+        ["drop", "crash", "err(unif)", "err(far)", "rounds", "drops",
+         "missing", "shortfall", "unheard", "agree"],
+        title=f"E14 - hardened tester under faults, grid(6x10), "
+              f"{all_points['grid'][0].trials} trials/point",
+    )
+    for pt in sorted(
+        all_points["grid"], key=lambda p: (p.crash_fraction, p.drop_prob)
+    ):
+        table.add_row([
+            f"{pt.drop_prob:.2f}",
+            f"{pt.crash_fraction:.2f}",
+            f"{pt.error_uniform:.2f}",
+            f"{pt.error_far:.2f}",
+            f"{pt.mean_rounds:.0f}",
+            f"{pt.mean_drops:.0f}",
+            f"{pt.mean_missing_subtrees:.1f}",
+            f"{pt.mean_shortfall:.1f}",
+            f"{pt.mean_unheard:.1f}",
+            f"{pt.mean_agreement:.2f}",
+        ])
+    results_dir = ROOT / "benchmarks" / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / "e14_robustness.txt").write_text(table.render() + "\n")
+
+
+def run_sweep(topology: str, smoke: bool) -> list:
+    if smoke:
+        drop_probs = (0.0, 0.05)
+        crash_fractions = (0.0,)
+        trials = 2
+    else:
+        drop_probs = (0.0, 0.02, 0.05, 0.1)
+        crash_fractions = (0.0, 0.1)
+        trials = 10
+    start = time.perf_counter()
+    points = robustness_sweep(
+        N,
+        K,
+        EPS,
+        p=P,
+        samples_per_node=SAMPLES_PER_NODE,
+        topology=topology,
+        drop_probs=drop_probs,
+        crash_fractions=crash_fractions,
+        trials=trials,
+        base_seed=BASE_SEED,
+    )
+    elapsed = time.perf_counter() - start
+
+    table = Table(
+        ["drop", "crash", "err(unif)", "err(far)", "rounds", "drops",
+         "missing", "shortfall", "unheard", "agree"],
+        title=f"{topology}(k={K})  n={N} eps={EPS} s={SAMPLES_PER_NODE} "
+              f"trials={trials}  [{elapsed:.1f} s]",
+    )
+    for pt in points:
+        table.add_row([
+            f"{pt.drop_prob:.2f}",
+            f"{pt.crash_fraction:.2f}",
+            f"{pt.error_uniform:.2f}",
+            f"{pt.error_far:.2f}",
+            f"{pt.mean_rounds:.0f}",
+            f"{pt.mean_drops:.0f}",
+            f"{pt.mean_missing_subtrees:.1f}",
+            f"{pt.mean_shortfall:.1f}",
+            f"{pt.mean_unheard:.1f}",
+            f"{pt.mean_agreement:.2f}",
+        ])
+    print(table.render())
+    return list(points)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny fast sweep for CI sanity checks")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=ROOT / "BENCH_robustness.json",
+                        help="output JSON path "
+                             "(default repo-root BENCH_robustness.json)")
+    args = parser.parse_args(argv)
+
+    print(f"robustness sweep  cpu_count={os.cpu_count()}")
+    all_points = {}
+    for topology in ("star", "ring", "grid"):
+        all_points[topology] = run_sweep(topology, args.smoke)
+    if not args.smoke:
+        write_results_table(all_points)
+
+    # Contract check: low loss + no crashes => every run completes with a
+    # verdict and unanimous agreement (graceful degradation never lets a
+    # node hang or default silently at these rates).
+    ok = True
+    for topology, points in all_points.items():
+        for pt in points:
+            if pt.crash_fraction == 0.0 and pt.drop_prob <= 0.05:
+                if pt.no_verdict or pt.mean_agreement < 1.0:
+                    print(f"ERROR: {topology} at drop={pt.drop_prob} lost "
+                          f"verdicts (no_verdict={pt.no_verdict}, "
+                          f"agreement={pt.mean_agreement})", file=sys.stderr)
+                    ok = False
+
+    payload = {
+        "schema": "bench_robustness/v1",
+        "smoke": bool(args.smoke),
+        "cpu_count": os.cpu_count(),
+        "base_seed": BASE_SEED,
+        "workload": {
+            "n": N,
+            "k": K,
+            "eps": EPS,
+            "p": P,
+            "samples_per_node": SAMPLES_PER_NODE,
+        },
+        "points": {
+            topology: [pt.as_dict() for pt in points]
+            for topology, points in all_points.items()
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
