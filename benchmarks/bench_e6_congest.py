@@ -44,8 +44,14 @@ def test_e6_end_to_end_table(benchmark):
     bits_budget = max(bits_for_domain(N), 2 * bits_for_int(K))
     star = Topology.star(K)
     for topo in (star,):
-        err_u = tester.estimate_error(topo, u, True, TRIALS, rng=1)
-        err_f = tester.estimate_error(topo, far, False, TRIALS, rng=2)
+        # Trial-plane fast path; engine_check re-runs a third of the
+        # trials through the engine and raises on any verdict mismatch.
+        err_u = tester.estimate_error(
+            topo, u, True, TRIALS, rng=1, fast_path=True, engine_check=1 / 3
+        )
+        err_f = tester.estimate_error(
+            topo, far, False, TRIALS, rng=2, fast_path=True, engine_check=1 / 3
+        )
         _, report = tester.run(topo, u, rng=3)
         budget = tester.params.predicted_rounds(topo.diameter())
         assert report.rounds <= budget

@@ -104,8 +104,12 @@ def _cmd_solve_and(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve_congest(args: argparse.Namespace) -> int:
-    from repro.congest import congest_parameters
+    from repro.congest import CongestUniformityTester, congest_parameters
 
+    if args.trials is not None and args.trials <= 0:
+        raise ParameterError(
+            f"--trials must be a positive trial count, got {args.trials}"
+        )
     params = congest_parameters(
         args.n, args.k, args.eps, args.p, args.samples_per_node
     )
@@ -120,6 +124,24 @@ def _cmd_solve_congest(args: argparse.Namespace) -> int:
          int(params.predicted_rounds(args.diameter))]
     )
     print(table.render())
+    if args.trials:
+        from repro.experiments import make_topology
+
+        tester = CongestUniformityTester(params=params)
+        topo = make_topology(args.topology, args.k)
+        u = uniform(args.n)
+        far = far_family("paninski", args.n, min(args.eps, 1.0), rng=args.seed)
+        err_u = tester.estimate_error(
+            topo, u, True, args.trials, rng=args.seed + 1,
+            fast_path=args.fast_path,
+        )
+        err_f = tester.estimate_error(
+            topo, far, False, args.trials, rng=args.seed + 2,
+            fast_path=args.fast_path,
+        )
+        path = "trial plane" if args.fast_path else "engine"
+        print(f"\nmeasured over {args.trials} trials on {args.topology} "
+              f"({path}): err(uniform)={err_u:.3f}, err(far)={err_f:.3f}")
     return 0
 
 
@@ -185,6 +207,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="network diameter for the round prediction")
     p.add_argument("--samples-per-node", type=int, default=1,
                    help="initial samples (tokens) per node")
+    p.add_argument("--trials", type=int, default=None,
+                   help="also measure error over this many protocol trials")
+    p.add_argument("--topology", choices=("star", "ring", "grid"),
+                   default="star",
+                   help="topology for the --trials measurement")
+    path = p.add_mutually_exclusive_group()
+    path.add_argument("--fast-path", dest="fast_path", action="store_true",
+                      default=True,
+                      help="estimate via the vectorised trial plane "
+                           "(default; bit-identical to the engine)")
+    path.add_argument("--engine", dest="fast_path", action="store_false",
+                      help="estimate via full per-trial engine runs")
     p.set_defaults(func=_cmd_solve_congest)
 
     p = sub.add_parser("demo", help="run the threshold tester once")

@@ -15,6 +15,12 @@ Two layers:
   timer-driven phases, ack/retransmit with bounded retries, and graceful
   degradation under the engine's deterministic
   :class:`~repro.simulator.faults.FaultPlan` injection.
+- :mod:`repro.congest.trial_plane` — the vectorised Monte-Carlo fast
+  path: extract the sample-value-independent packaging layout once
+  (:class:`~repro.congest.trial_plane.PackagingLayout`, or
+  :class:`~repro.congest.trial_plane.RealisedLayout` via pack-then-replay
+  under a fixed fault plan), then batch whole trial matrices through
+  numpy collision kernels, bit-identical per seed to the engine path.
 """
 
 from repro.congest.token_packaging import (
@@ -43,6 +49,15 @@ from repro.congest.hardened import (
     RetryPolicy,
     run_hardened_packaging,
 )
+from repro.congest.trial_plane import (
+    CongestTrialRunner,
+    CongestVerdictKernel,
+    HardenedTrialRunner,
+    HardenedVerdictKernel,
+    LayoutCheck,
+    PackagingLayout,
+    RealisedLayout,
+)
 
 __all__ = [
     "HardenedCongestTester",
@@ -65,4 +80,11 @@ __all__ = [
     "CongestParameters",
     "CongestUniformityTester",
     "congest_parameters",
+    "CongestTrialRunner",
+    "CongestVerdictKernel",
+    "HardenedTrialRunner",
+    "HardenedVerdictKernel",
+    "LayoutCheck",
+    "PackagingLayout",
+    "RealisedLayout",
 ]

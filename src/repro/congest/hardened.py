@@ -42,6 +42,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.congest.tester import CongestParameters, congest_parameters
 from repro.distributions.base import DiscreteDistribution
 from repro.exceptions import (
@@ -604,6 +606,15 @@ class HardenedCongestTesterProgram(HardenedTokenPackagingProgram):
         self.params = params
         self.my_alarms = 0
         self.my_packages = 0
+        # Realised-layout instrumentation, read by the trial plane's
+        # pack-then-replay extraction (which captures the program objects,
+        # so these survive even for nodes that crash before halting):
+        # the literal token tuples packaged here, and the children whose
+        # votes were folded into ours at vote time (entries arriving
+        # after the fold are acked but never counted — reconstructing
+        # this from the final ``votes_received`` would over-count).
+        self.package_contents: Tuple[Tuple[int, ...], ...] = ()
+        self.vote_included: Tuple[int, ...] = ()
         self.shortfall = 0
         self.votes_received: Dict[int, Tuple[int, int]] = {}
         self.vote_sent = False
@@ -648,6 +659,7 @@ class HardenedCongestTesterProgram(HardenedTokenPackagingProgram):
 
     def _on_packaged(self, ctx, packages, leftover, shortfall) -> None:
         self.my_packages = len(packages)
+        self.package_contents = packages
         self.shortfall = shortfall
         for package in packages:
             if len(set(package)) < len(package):
@@ -686,6 +698,7 @@ class HardenedCongestTesterProgram(HardenedTokenPackagingProgram):
             waiting = self.children - set(self.votes_received)
             if not waiting or r >= s.vote_last_call:
                 self.missing_vote_children = tuple(sorted(waiting))
+                self.vote_included = tuple(sorted(self.votes_received))
                 self.vote_alarms = self.my_alarms + sum(
                     a for a, _ in self.votes_received.values()
                 )
@@ -837,6 +850,38 @@ CongestUniformityTester`; the execution swaps the quiet-round protocol
         gen = ensure_rng(rng)
         s = self.params.samples_per_node
         samples = distribution.sample_matrix(topology.k, s, gen)
+        return self.run_from_samples(
+            topology, samples, faults=faults, d_hint=d_hint, rng=gen
+        )
+
+    def run_from_samples(
+        self,
+        topology: Topology,
+        samples: Any,
+        faults: Optional[FaultPlan] = None,
+        d_hint: Optional[int] = None,
+        rng: SeedLike = None,
+        _capture_programs: Optional[List[Any]] = None,
+    ) -> HardenedRunResult:
+        """Execute the hardened protocol on a fixed ``(k, s)`` sample matrix.
+
+        The deterministic tail of :meth:`run`: the protocol uses no node
+        randomness and the :class:`FaultPlan` makes its drop/delay/crash
+        decisions from pure hashes of ``(seed, edge, round, index)``, so
+        for fixed samples and plan the run — including the realised
+        message schedule and packaging layout — is bit-reproducible.
+        ``_capture_programs`` (internal; used by the trial plane's
+        pack-then-replay extraction) collects the per-node program
+        objects so instrumented layout state is readable even for nodes
+        that crashed before producing an outcome.
+        """
+        samples = np.asarray(samples)
+        s = self.params.samples_per_node
+        if samples.shape != (topology.k, s):
+            raise ParameterError(
+                f"expected a ({topology.k}, {s}) sample matrix, got "
+                f"{samples.shape}"
+            )
         tokens = samples.tolist()
         token_bits = bits_for_domain(self.params.n)
         if d_hint is None:
@@ -851,8 +896,9 @@ CongestUniformityTester`; the execution swaps the quiet-round protocol
             deadlock_quiet_rounds=max(8, self.params.tau + 6),
             faults=faults,
         )
-        report = engine.run(
-            lambda v: HardenedCongestTesterProgram(
+
+        def factory(v: int) -> HardenedCongestTesterProgram:
+            program = HardenedCongestTesterProgram(
                 node_id=v,
                 k=topology.k,
                 params=self.params,
@@ -860,9 +906,12 @@ CongestUniformityTester`; the execution swaps the quiet-round protocol
                 token_bits=token_bits,
                 schedule=schedule,
                 policy=self.policy,
-            ),
-            gen,
-        )
+            )
+            if _capture_programs is not None:
+                _capture_programs.append(program)
+            return program
+
+        report = engine.run(factory, rng)
         outcomes: Tuple[Optional[HardenedTesterOutcome], ...] = tuple(
             report.outputs
         )
@@ -881,3 +930,102 @@ CongestUniformityTester`; the execution swaps the quiet-round protocol
             shortfall=sum(o.shortfall for o in alive),
             unheard=sum(1 for o in alive if o.unheard),
         )
+
+    def estimate_error(
+        self,
+        topology: Topology,
+        distribution: DiscreteDistribution,
+        is_uniform: bool,
+        trials: int,
+        rng: SeedLike = None,
+        faults: Optional[FaultPlan] = None,
+        workers: int = 1,
+        fast_path: bool = True,
+        engine_check: float = 0.0,
+        d_hint: Optional[int] = None,
+    ) -> float:
+        """Monte-Carlo error rate under one **fixed** :class:`FaultPlan`.
+
+        A trial errs when the network verdict disagrees with
+        ``is_uniform`` (a ``None`` verdict — the root crashed — counts as
+        an error on either side).  ``rng`` must be seed-like (``None`` or
+        int); trials draw from the trial engine's chunk-keyed streams.
+
+        ``fast_path`` (default on) uses pack-then-replay: because the
+        plan's fault decisions are pure functions of ``(seed, edge,
+        round, index)`` — never of message payloads — the realised
+        packaging layout and the set of subtree votes the root counts
+        are identical across sample redraws.  One instrumented engine
+        run under the plan extracts that layout
+        (:class:`~repro.congest.trial_plane.RealisedLayout`); every trial
+        then reduces to a numpy collision pass over its sample matrix,
+        bit-identical per trial to the engine route.  ``engine_check``
+        re-runs that fraction of the trials (at least one, a prefix of
+        the same stream) through the full engine and raises on any
+        verdict mismatch.
+
+        This replay is only sound for a plan that is fixed across
+        trials; sweeps that re-key the plan per trial (e.g. E14's
+        ``robustness_sweep``) must use the engine path except at their
+        fault-free points.
+        """
+        if trials < 1:
+            raise ParameterError(f"trials must be >= 1, got {trials}")
+        if not (rng is None or isinstance(rng, (int, np.integer))):
+            raise ParameterError(
+                "estimate_error needs a seed-like rng (None or int), got "
+                f"{type(rng).__name__}"
+            )
+        base_seed = 0 if rng is None else int(rng)
+        if fast_path:
+            from repro.congest.trial_plane import HardenedTrialRunner
+
+            runner = HardenedTrialRunner.build(
+                self, topology, faults=faults, d_hint=d_hint
+            )
+            return runner.error_rate(
+                distribution,
+                is_uniform,
+                trials,
+                base_seed=base_seed,
+                workers=workers,
+                engine_check=engine_check,
+            )
+        from repro.experiments.runner import TrialRunner
+
+        experiment = _HardenedTrialExperiment(
+            tester=self,
+            topology=topology,
+            distribution=distribution,
+            is_uniform=is_uniform,
+            faults=faults,
+            d_hint=d_hint,
+        )
+        est = TrialRunner(base_seed=base_seed).error_rate(
+            experiment, trials, "hardened", topology.k, workers=workers
+        )
+        return est.rate
+
+
+@dataclass(frozen=True)
+class _HardenedTrialExperiment:
+    """Picklable scalar experiment: one hardened run under a fixed plan;
+    ``True`` = the verdict disagrees with ``is_uniform`` (``None`` errs)."""
+
+    tester: HardenedCongestTester
+    topology: Topology
+    distribution: DiscreteDistribution
+    is_uniform: bool
+    faults: Optional[FaultPlan] = None
+    d_hint: Optional[int] = None
+
+    def __call__(self, rng: np.random.Generator) -> bool:
+        result = self.tester.run(
+            self.topology,
+            self.distribution,
+            rng,
+            faults=self.faults,
+            d_hint=self.d_hint,
+        )
+        expected = True if self.is_uniform else False
+        return result.verdict is not expected

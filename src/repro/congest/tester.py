@@ -382,6 +382,35 @@ class CongestUniformityTester:
         gen = ensure_rng(rng)
         s = self.params.samples_per_node
         samples = distribution.sample_matrix(topology.k, s, gen)
+        return self.run_from_samples(
+            topology, samples, warm_start=warm_start, faults=faults, rng=gen
+        )
+
+    def run_from_samples(
+        self,
+        topology: Topology,
+        samples: np.ndarray,
+        warm_start: bool = False,
+        faults: Optional[FaultPlan] = None,
+        rng: SeedLike = None,
+    ) -> Tuple[bool, EngineReport]:
+        """Execute the protocol on a fixed ``(k, s)`` sample matrix.
+
+        The deterministic tail of :meth:`run` — everything after the
+        sampling step.  Exposed so the trial plane
+        (:mod:`repro.congest.trial_plane`) can re-run the engine on the
+        exact samples a vectorised trial consumed and compare verdicts
+        bit for bit.  The protocol draws no node randomness, so for a
+        fixed sample matrix the run is fully deterministic; ``rng`` only
+        seeds the engine's (never-materialised) per-node generators.
+        """
+        samples = np.asarray(samples)
+        s = self.params.samples_per_node
+        if samples.shape != (topology.k, s):
+            raise ParameterError(
+                f"expected a ({topology.k}, {s}) sample matrix, got "
+                f"{samples.shape}"
+            )
         tokens = samples.tolist()  # native ints, one list per node
         token_bits = bits_for_domain(self.params.n)
         bandwidth = max(token_bits, 2 * bits_for_int(topology.k))
@@ -404,7 +433,7 @@ class CongestUniformityTester:
                 token_bits=token_bits,
                 warm_start=None if views is None else views[v],
             ),
-            gen,
+            rng,
         )
         verdicts = set(report.outputs)
         if len(verdicts) != 1:
@@ -420,11 +449,11 @@ class CongestUniformityTester:
         rng: SeedLike = None,
         workers: int = 1,
         warm_start: bool = True,
+        fast_path: bool = False,
+        engine_check: float = 0.0,
     ) -> float:
         """Monte-Carlo error rate over full protocol executions.
 
-        Each trial simulates the entire CONGEST protocol, so there is no
-        vectorised kernel — but the trials are embarrassingly parallel.
         Seed-like ``rng`` routes through the trial engine: chunk-keyed
         streams, reproducible for any ``workers``, and ``workers > 1``
         fans full protocol executions out over a process pool.  A
@@ -435,10 +464,34 @@ class CongestUniformityTester:
         trials (the protocols draw no node randomness after sampling, and
         the verdict equivalence is tested) at a fraction of the cost.
         Pass ``False`` to measure the full protocol.
+
+        ``fast_path=True`` (seed-like ``rng`` only) skips the engine
+        entirely: trial verdicts are computed in numpy from the
+        :class:`~repro.congest.trial_plane.PackagingLayout` of the
+        topology's tree schedule, bit-identical per trial to the engine
+        route because both consume the same chunk-keyed sample streams.
+        ``engine_check`` re-runs that fraction of the trials (at least
+        one, a prefix of the same stream) through the real engine and
+        raises if any verdict disagrees.  The engine remains the
+        measurement of record for rounds/bandwidth; the fast path exists
+        for error-rate sweeps, where only the verdict matters.
         """
         if trials < 1:
             raise ParameterError(f"trials must be >= 1, got {trials}")
         if rng is None or isinstance(rng, (int, np.integer)):
+            base_seed = 0 if rng is None else int(rng)
+            if fast_path:
+                from repro.congest.trial_plane import CongestTrialRunner
+
+                runner = CongestTrialRunner.build(self, topology)
+                return runner.error_rate(
+                    distribution,
+                    is_uniform,
+                    trials,
+                    base_seed=base_seed,
+                    workers=workers,
+                    engine_check=engine_check,
+                )
             from repro.experiments.runner import TrialRunner
 
             experiment = _CongestTrialExperiment(
@@ -448,10 +501,15 @@ class CongestUniformityTester:
                 is_uniform=is_uniform,
                 warm_start=warm_start,
             )
-            est = TrialRunner(base_seed=0 if rng is None else int(rng)).error_rate(
+            est = TrialRunner(base_seed=base_seed).error_rate(
                 experiment, trials, "congest", topology.k, workers=workers
             )
             return est.rate
+        if fast_path:
+            raise ParameterError(
+                "fast_path needs a seed-like rng (None or int): the trial "
+                "plane replays chunk-keyed streams, not a shared Generator"
+            )
         gen = ensure_rng(rng)
         errors = 0
         for _ in range(trials):

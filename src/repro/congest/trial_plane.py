@@ -1,0 +1,733 @@
+"""The vectorised CONGEST trial plane: layout replay + batched verdicts.
+
+A Monte-Carlo error-rate sweep of the Theorem 1.4 tester runs the same
+protocol thousands of times, varying only the sampled tokens.  But the
+protocol's *control flow* never looks at a token's value: the tree is a
+pure function of the topology (max-ID flooding under deterministic
+delivery), the ``c(v)`` counts are pure functions of the tree and ``τ``,
+and the TOKENS phase forwards "the first ``c(v)`` tokens held" — a rule
+about buffer *positions*, not values.  Hence **which node's j-th sample
+lands in which package** — the *packaging layout* — is fixed across
+trials, and a trial's verdict reduces to
+
+1. gather each package's sample values (a numpy fancy-index),
+2. flag packages containing a repeat (one sort+diff pass —
+   :func:`repro.zeroround.network.grouped_collision_flags`),
+3. compare the alarm count against the Theorem 1.2 threshold for the
+   realised package count ``ℓ`` (a constant).
+
+Two layout sources:
+
+- :class:`PackagingLayout` — computed directly from the cached
+  :class:`~repro.simulator.graph.TreeSchedule` by simulating the TOKENS
+  phase on slot IDs (``O(k·τ)`` once per topology, no engine).
+  :meth:`PackagingLayout.verify_layout` cross-checks it against a real
+  cold engine run.  Valid for the fault-free plain tester, warm or cold.
+- :class:`RealisedLayout` — **pack-then-replay** for the hardened tester
+  under a fixed :class:`~repro.simulator.faults.FaultPlan`: the plan's
+  drop/delay/crash decisions are pure hashes of ``(seed, edge, round,
+  index)``, never of payloads, so the faulty run's realised layout *and*
+  the set of subtree votes the root counts are identical across sample
+  redraws.  One instrumented engine run extracts them; every further
+  trial is a numpy pass.
+
+Bit-identity contract: the batched kernels consume the trial engine's
+chunk-keyed streams exactly like the scalar engine experiments (one
+``sample_matrix(k, s)``-worth of draws per trial, numpy streams being
+prefix-stable under call splitting), under the same trial labels — so
+fast-path and engine trial ``t`` see the *same sample values* and must
+produce the same verdict.  ``engine_check`` re-runs a prefix of the
+trials through the real engine and raises on any disagreement.  The
+engine remains the measurement of record for rounds, bandwidth and
+fault counters; the trial plane only accelerates verdict statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.congest.hardened import (
+    HardenedCongestTester,
+    HardenedRunResult,
+    _HardenedTrialExperiment,
+)
+from repro.congest.tester import (
+    CongestUniformityTester,
+    _CongestTrialExperiment,
+)
+from repro.congest.token_packaging import TokenPackagingProgram
+from repro.distributions.base import DiscreteDistribution
+from repro.exceptions import (
+    InfeasibleParametersError,
+    ParameterError,
+    SimulationError,
+)
+from repro.experiments.runner import TrialRunner
+from repro.rng import ensure_rng
+from repro.simulator.engine import SynchronousEngine
+from repro.simulator.faults import FaultPlan
+from repro.simulator.graph import Topology, TreeSchedule
+from repro.simulator.message import bits_for_int
+from repro.zeroround.network import auto_batch, grouped_collision_flags
+
+
+# ---------------------------------------------------------------------------
+# Fault-free layout, straight from the tree schedule
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class LayoutCheck:
+    """Result of :meth:`PackagingLayout.verify_layout`."""
+
+    equivalent: bool
+    mismatched_nodes: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True, eq=False)
+class PackagingLayout:
+    """Which token slot lands in which package, for a fault-free run.
+
+    Token *slots* are flat indices into the ``(k, s)`` sample matrix:
+    node ``v``'s ``j``-th sample is slot ``v·s + j``.  ``members[p]``
+    lists the ``τ`` slots of package ``p`` in buffer order,
+    ``package_owner[p]`` is the node holding it, and ``dropped`` are the
+    slots the root discarded (at most ``τ − 1``, per Definition 2).
+
+    Built once per ``(topology, τ, s)`` by :meth:`from_schedule` and
+    cached on the tree schedule; :meth:`verify_layout` cross-checks the
+    simulation against an actual cold engine run.
+    """
+
+    k: int
+    tau: int
+    tokens_per_node: int
+    members: np.ndarray
+    package_owner: np.ndarray
+    dropped: Tuple[int, ...]
+
+    @property
+    def virtual_nodes(self) -> int:
+        """Realised package count ``ℓ``."""
+        return int(self.members.shape[0])
+
+    @property
+    def total_tokens(self) -> int:
+        """Flat sample-vector length ``k·s`` one trial consumes."""
+        return self.k * self.tokens_per_node
+
+    @staticmethod
+    def from_schedule(
+        topology: Topology, tau: int, tokens_per_node: int = 1
+    ) -> "PackagingLayout":
+        """Extract the layout from the cached tree schedule, no engine.
+
+        Replays the warm-start TOKENS dynamics on slot IDs: each round
+        every node first appends the tokens delivered this round (in
+        ascending sender order — the engine's deterministic inbox
+        order), then forwards its buffer head to its parent if it still
+        owes tokens; after ``τ`` forwarding rounds (plus the final
+        delivery round) each buffer is cut into consecutive ``τ``-slot
+        packages.  Identical to what a cold run realises because the
+        warm start is round-for-round equivalent to the cold TOKENS
+        phase (``verify_warm_start``) and the dynamics never read token
+        values.  Cached per ``(τ, s)`` on the schedule's ``aux`` dict.
+        """
+        if tau < 1:
+            raise ParameterError(f"tau must be >= 1, got {tau}")
+        if tokens_per_node < 1:
+            raise ParameterError(
+                f"tokens_per_node must be >= 1, got {tokens_per_node}"
+            )
+        schedule: TreeSchedule = topology.tree_schedule()
+        key = ("trial_layout", tau, tokens_per_node)
+        cached = schedule.aux.get(key)
+        if cached is not None:
+            return cached
+        k, s = topology.k, tokens_per_node
+        counts = schedule.token_counts(tau, s)
+        buffers = [deque(range(v * s, (v + 1) * s)) for v in range(k)]
+        sent = [0] * k
+        dropped: List[int] = []
+        arrivals: List[List[int]] = [[] for _ in range(k)]
+        for r in range(tau + 1):
+            for v in range(k):
+                if arrivals[v]:
+                    buffers[v].extend(arrivals[v])
+            next_arrivals: List[List[int]] = [[] for _ in range(k)]
+            if r < tau:
+                for v in range(k):
+                    if sent[v] < counts[v] and buffers[v]:
+                        slot = buffers[v].popleft()
+                        sent[v] += 1
+                        parent = schedule.parent[v]
+                        if parent is None:
+                            dropped.append(slot)
+                        else:
+                            next_arrivals[parent].append(slot)
+            arrivals = next_arrivals
+        member_rows: List[Sequence[int]] = []
+        owners: List[int] = []
+        for v in range(k):
+            if sent[v] != counts[v]:
+                raise SimulationError(
+                    f"layout extraction: node {v} forwarded {sent[v]} of "
+                    f"c(v)={counts[v]} slots in tau={tau} rounds — the "
+                    f"pipelining invariant (Theorem 5.1) failed"
+                )
+            held = list(buffers[v])
+            if len(held) % tau != 0:
+                raise SimulationError(
+                    f"layout extraction: node {v} holds {len(held)} slots, "
+                    f"not a multiple of tau={tau}"
+                )
+            for i in range(0, len(held), tau):
+                member_rows.append(held[i : i + tau])
+                owners.append(v)
+        members = np.asarray(member_rows, dtype=np.int64).reshape(
+            len(member_rows), tau
+        )
+        members.setflags(write=False)
+        package_owner = np.asarray(owners, dtype=np.int64)
+        package_owner.setflags(write=False)
+        layout = PackagingLayout(
+            k=k,
+            tau=tau,
+            tokens_per_node=s,
+            members=members,
+            package_owner=package_owner,
+            dropped=tuple(dropped),
+        )
+        schedule.aux[key] = layout
+        return layout
+
+    def verify_layout(self, topology: Topology) -> LayoutCheck:
+        """Cross-check this layout against an actual cold engine run.
+
+        Runs the full FLOOD/CHILD/COUNT/TOKENS protocol with slot-ID
+        tokens and compares, per node, the realised packages (contents
+        *and* order) and the root's drop set against the simulated
+        layout.
+        """
+        if topology.k != self.k:
+            raise ParameterError(
+                f"layout built for k={self.k}, topology has {topology.k}"
+            )
+        k, s, tau = self.k, self.tokens_per_node, self.tau
+        token_bits = bits_for_int(k * s)
+        engine = SynchronousEngine(
+            topology,
+            bandwidth_bits=max(token_bits, 2 * bits_for_int(k)),
+            max_rounds=10 * (topology.diameter_upper_bound() + tau + 10),
+            deadlock_quiet_rounds=tau + 6,
+        )
+        report = engine.run(
+            lambda v: TokenPackagingProgram(
+                node_id=v,
+                k=k,
+                tau=tau,
+                token=range(v * s, (v + 1) * s),
+                token_bits=token_bits,
+            ),
+            None,
+        )
+        mine: List[List[Tuple[int, ...]]] = [[] for _ in range(k)]
+        for p in range(self.virtual_nodes):
+            mine[int(self.package_owner[p])].append(
+                tuple(int(x) for x in self.members[p])
+            )
+        mismatched = []
+        for v, outcome in enumerate(report.outputs):
+            engine_packages = list(outcome.packages)
+            engine_dropped = list(outcome.leftover)
+            expected_dropped = list(self.dropped) if outcome.is_root else []
+            if engine_packages != mine[v] or engine_dropped != expected_dropped:
+                mismatched.append(v)
+        return LayoutCheck(
+            equivalent=not mismatched, mismatched_nodes=tuple(mismatched)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Batched verdict kernels (picklable, trial-engine compatible)
+# ---------------------------------------------------------------------------
+
+
+def _accepts(
+    flat: np.ndarray, members: np.ndarray, threshold: Optional[int]
+) -> np.ndarray:
+    """Vectorised root decision over a ``(trials, k·s)`` sample matrix.
+
+    ``threshold=None`` encodes the zero-package degenerate case, where
+    the plain root accepts unconditionally.
+    """
+    if threshold is None:
+        return np.ones(flat.shape[0], dtype=bool)
+    alarms = grouped_collision_flags(flat, members).sum(axis=1)
+    return alarms < threshold
+
+
+@dataclass(frozen=True, eq=False)
+class CongestVerdictKernel:
+    """Batched experiment: fault-free Theorem 1.4 trial error flags.
+
+    ``(rng, count) -> flags`` where ``True`` means the verdict disagrees
+    with ``is_uniform``.  Consumes exactly ``count`` trials' worth of
+    ``sample_matrix(k, s)`` draws, so it is bit-identical to the scalar
+    engine experiment on the same chunk stream.
+    """
+
+    distribution: DiscreteDistribution
+    members: np.ndarray
+    threshold: Optional[int]
+    total_tokens: int
+    is_uniform: bool
+
+    def __call__(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        flat = self.distribution.sample(count * self.total_tokens, rng)
+        accepted = _accepts(
+            flat.reshape(count, self.total_tokens), self.members, self.threshold
+        )
+        return accepted != self.is_uniform
+
+
+@dataclass(frozen=True, eq=False)
+class HardenedVerdictKernel:
+    """Batched experiment: hardened-tester trial error flags under a
+    fixed fault plan, replayed over the extracted realised layout.
+
+    ``root_alive=False`` (the plan crashes the elected root) means every
+    trial's verdict is ``None`` — an error on either side — but the
+    sample stream is still consumed, keeping the chunk streams aligned
+    with the engine path.  ``threshold=None`` with a live root encodes
+    the reject-always outcomes (zero counted packages, or no separating
+    threshold at the realised ``ℓ``).
+    """
+
+    distribution: DiscreteDistribution
+    members: np.ndarray
+    threshold: Optional[int]
+    total_tokens: int
+    is_uniform: bool
+    root_alive: bool
+
+    def __call__(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        flat = self.distribution.sample(count * self.total_tokens, rng)
+        if not self.root_alive:
+            return np.ones(count, dtype=bool)
+        if self.threshold is None:
+            accepted = np.zeros(count, dtype=bool)
+        else:
+            alarms = grouped_collision_flags(
+                flat.reshape(count, self.total_tokens), self.members
+            ).sum(axis=1)
+            accepted = alarms < self.threshold
+        return accepted != self.is_uniform
+
+
+# ---------------------------------------------------------------------------
+# Fault-free trial runner (plain tester)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class CongestTrialRunner:
+    """Vectorised Monte-Carlo trials for the fault-free CONGEST tester.
+
+    Wraps a solved :class:`CongestUniformityTester`, the topology's
+    :class:`PackagingLayout` and the Theorem 1.2 threshold for the
+    realised package count; trial verdicts are then one gather + one
+    sort + one comparison per batch.  ``build`` is the constructor.
+    """
+
+    tester: CongestUniformityTester
+    topology: Topology
+    layout: PackagingLayout
+    threshold: Optional[int]
+
+    @staticmethod
+    def build(
+        tester: CongestUniformityTester, topology: Topology
+    ) -> "CongestTrialRunner":
+        """Extract (or reuse the cached) layout and place the threshold."""
+        if topology.k != tester.params.k:
+            raise ParameterError(
+                f"tester solved for k={tester.params.k}, topology has "
+                f"{topology.k}"
+            )
+        layout = PackagingLayout.from_schedule(
+            topology, tester.params.tau, tester.params.samples_per_node
+        )
+        ell = layout.virtual_nodes
+        # Mirrors the root's decision rule: zero packages accept
+        # unconditionally; otherwise the exact-tail threshold (raising
+        # InfeasibleParametersError exactly when the engine path would).
+        threshold = None if ell == 0 else tester.params.threshold_for(ell)
+        return CongestTrialRunner(
+            tester=tester, topology=topology, layout=layout, threshold=threshold
+        )
+
+    # -- per-sample / per-seed APIs ------------------------------------
+
+    def accepts(self, samples: np.ndarray) -> np.ndarray:
+        """Verdicts for a ``(trials, k·s)`` (or ``(trials, k, s)``) batch."""
+        flat = np.asarray(samples).reshape(-1, self.layout.total_tokens)
+        return _accepts(flat, self.layout.members, self.threshold)
+
+    def verdicts_for_seeds(
+        self, distribution: DiscreteDistribution, seeds: Sequence[int]
+    ) -> List[bool]:
+        """Per-seed verdicts matching ``tester.run(topo, dist, rng=seed)``.
+
+        Each seed's samples are drawn exactly as the engine path draws
+        them (``ensure_rng(seed)`` then one ``sample_matrix(k, s)``), so
+        verdict ``i`` is bit-identical to the engine run at
+        ``seeds[i]``.
+        """
+        total = self.layout.total_tokens
+        flat = np.stack(
+            [distribution.sample(total, ensure_rng(seed)) for seed in seeds]
+        )
+        return [bool(a) for a in self.accepts(flat)]
+
+    # -- trial-engine APIs ---------------------------------------------
+
+    def run_flags(
+        self,
+        distribution: DiscreteDistribution,
+        is_uniform: bool,
+        trials: int,
+        base_seed: int = 0,
+        workers: int = 1,
+        engine_check: float = 0.0,
+    ) -> np.ndarray:
+        """Per-trial error flags via the chunk-keyed trial engine.
+
+        Bit-identical to the scalar engine route
+        (:meth:`CongestUniformityTester.estimate_error` with
+        ``fast_path=False``) — same ``("congest", k)`` labels, same
+        stream consumption.  ``engine_check`` ∈ [0, 1] re-runs that
+        fraction of the trials (at least one; a prefix of the same
+        stream, so no extra bookkeeping) through the full engine and
+        raises :class:`SimulationError` on any flag mismatch.
+        """
+        if not 0.0 <= engine_check <= 1.0:
+            raise ParameterError(
+                f"engine_check must be in [0, 1], got {engine_check}"
+            )
+        kernel = CongestVerdictKernel(
+            distribution=distribution,
+            members=self.layout.members,
+            threshold=self.threshold,
+            total_tokens=self.layout.total_tokens,
+            is_uniform=is_uniform,
+        )
+        flags = TrialRunner(base_seed=base_seed).run_flags_batched(
+            kernel,
+            trials,
+            "congest",
+            self.topology.k,
+            batch=auto_batch(self.layout.total_tokens),
+            workers=workers,
+        )
+        if engine_check > 0.0:
+            checked = min(trials, max(1, int(round(engine_check * trials))))
+            experiment = _CongestTrialExperiment(
+                tester=self.tester,
+                topology=self.topology,
+                distribution=distribution,
+                is_uniform=is_uniform,
+                warm_start=True,
+            )
+            engine_flags = TrialRunner(base_seed=base_seed).run_flags(
+                experiment, checked, "congest", self.topology.k
+            )
+            if not np.array_equal(engine_flags, flags[:checked]):
+                bad = np.flatnonzero(engine_flags != flags[:checked])
+                raise SimulationError(
+                    f"trial-plane verdicts diverge from the engine on "
+                    f"trials {bad[:8].tolist()} of {checked} checked — "
+                    f"bit-identity contract broken"
+                )
+        return flags
+
+    def error_rate(
+        self,
+        distribution: DiscreteDistribution,
+        is_uniform: bool,
+        trials: int,
+        base_seed: int = 0,
+        workers: int = 1,
+        engine_check: float = 0.0,
+    ) -> float:
+        """Monte-Carlo error rate over :meth:`run_flags`."""
+        flags = self.run_flags(
+            distribution,
+            is_uniform,
+            trials,
+            base_seed=base_seed,
+            workers=workers,
+            engine_check=engine_check,
+        )
+        return float(flags.sum()) / trials
+
+
+# ---------------------------------------------------------------------------
+# Pack-then-replay for the hardened tester under a fixed fault plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class RealisedLayout:
+    """The packaging layout one (possibly faulty) hardened run realised,
+    restricted to the packages the root's verdict actually counted.
+
+    Extracted by :meth:`from_engine` from a single instrumented engine
+    run with slot-ID tokens: ``members[p]`` lists the slots of the
+    ``p``-th counted package, ``counted_nodes`` the nodes whose vote
+    reached the root (the ``vote_included`` closure from node ``k−1``),
+    and ``root_alive`` whether the elected root survived to decide.
+    Valid for replay across sample redraws because the fault plan's
+    decisions and the protocol's control flow are payload-independent.
+    """
+
+    k: int
+    tau: int
+    tokens_per_node: int
+    members: np.ndarray
+    counted_nodes: Tuple[int, ...]
+    root_alive: bool
+    probe: HardenedRunResult
+
+    @property
+    def counted_packages(self) -> int:
+        """The package count ``ℓ`` the root thresholds against."""
+        return int(self.members.shape[0])
+
+    @property
+    def total_tokens(self) -> int:
+        return self.k * self.tokens_per_node
+
+    @staticmethod
+    def from_engine(
+        tester: HardenedCongestTester,
+        topology: Topology,
+        faults: Optional[FaultPlan] = None,
+        d_hint: Optional[int] = None,
+    ) -> "RealisedLayout":
+        """One instrumented engine run under ``faults`` → realised layout.
+
+        The probe run uses slot IDs as tokens (same declared token bits
+        as a real run, so frames, bandwidth and fault decisions are
+        identical) and captures the program objects, then walks the
+        ``vote_included`` tree from the root: a node's packages are
+        counted iff every link of its vote path reached the root in
+        time.  Cross-checks the closure against the root's own
+        ``vote_packages``/``vote_alarms`` totals and raises on mismatch.
+        """
+        plan = faults if faults is not None else FaultPlan.none()
+        k = topology.k
+        s = tester.params.samples_per_node
+        slots = np.arange(k * s, dtype=np.int64).reshape(k, s)
+        programs: List = []
+        probe = tester.run_from_samples(
+            topology,
+            slots,
+            faults=plan,
+            d_hint=d_hint,
+            _capture_programs=programs,
+        )
+        root = k - 1
+        root_alive = probe.outcomes[root] is not None
+        member_rows: List[Tuple[int, ...]] = []
+        counted: List[int] = []
+        if root_alive:
+            seen = {root}
+            stack = [root]
+            while stack:
+                v = stack.pop()
+                counted.append(v)
+                member_rows.extend(programs[v].package_contents)
+                for child in programs[v].vote_included:
+                    if child not in seen:
+                        seen.add(child)
+                        stack.append(child)
+            root_program = programs[root]
+            if len(member_rows) != root_program.vote_packages:
+                raise SimulationError(
+                    f"realised-layout closure found {len(member_rows)} "
+                    f"packages but the root counted "
+                    f"{root_program.vote_packages} — extraction and "
+                    f"protocol disagree"
+                )
+            if root_program.vote_alarms != 0:
+                # Slot IDs are all distinct, so any alarm in the probe
+                # run means tokens were duplicated somewhere.
+                raise SimulationError(
+                    f"probe run raised {root_program.vote_alarms} alarms "
+                    f"on distinct slot tokens — duplicated tokens"
+                )
+        members = np.asarray(member_rows, dtype=np.int64).reshape(
+            len(member_rows), tester.params.tau
+        )
+        members.setflags(write=False)
+        return RealisedLayout(
+            k=k,
+            tau=tester.params.tau,
+            tokens_per_node=s,
+            members=members,
+            counted_nodes=tuple(sorted(counted)),
+            root_alive=root_alive,
+            probe=probe,
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class HardenedTrialRunner:
+    """Pack-then-replay Monte-Carlo trials for the hardened tester.
+
+    One probe run under the fixed plan fixes the counted layout; trial
+    verdicts then replay it over fresh samples.  ``threshold=None``
+    (with a live root) means the root rejects every trial — zero counted
+    packages, or no separating threshold at the realised ``ℓ``.
+    """
+
+    tester: HardenedCongestTester
+    topology: Topology
+    faults: FaultPlan
+    layout: RealisedLayout
+    threshold: Optional[int]
+    d_hint: Optional[int] = None
+
+    @staticmethod
+    def build(
+        tester: HardenedCongestTester,
+        topology: Topology,
+        faults: Optional[FaultPlan] = None,
+        d_hint: Optional[int] = None,
+    ) -> "HardenedTrialRunner":
+        """Probe the plan once and place the verdict threshold."""
+        if topology.k != tester.params.k:
+            raise ParameterError(
+                f"tester solved for k={tester.params.k}, topology has "
+                f"{topology.k}"
+            )
+        plan = faults if faults is not None else FaultPlan.none()
+        layout = RealisedLayout.from_engine(
+            tester, topology, faults=plan, d_hint=d_hint
+        )
+        threshold: Optional[int] = None
+        if layout.root_alive and layout.counted_packages > 0:
+            try:
+                threshold = tester.params.threshold_for(
+                    layout.counted_packages
+                )
+            except InfeasibleParametersError:
+                threshold = None  # root rejects and flags infeasibility
+        return HardenedTrialRunner(
+            tester=tester,
+            topology=topology,
+            faults=plan,
+            layout=layout,
+            threshold=threshold,
+            d_hint=d_hint,
+        )
+
+    # -- per-seed API (used by the E14 sweep) ---------------------------
+
+    def verdicts_for_seeds(
+        self, distribution: DiscreteDistribution, seeds: Sequence[int]
+    ) -> List[Optional[bool]]:
+        """Per-seed verdicts matching ``tester.run(..., rng=seed,
+        faults=plan).verdict`` (``None`` when the root crashed)."""
+        total = self.layout.total_tokens
+        flat = np.stack(
+            [distribution.sample(total, ensure_rng(seed)) for seed in seeds]
+        )
+        if not self.layout.root_alive:
+            return [None] * len(seeds)
+        if self.threshold is None:
+            return [False] * len(seeds)
+        alarms = grouped_collision_flags(flat, self.layout.members).sum(axis=1)
+        return [bool(a < self.threshold) for a in alarms]
+
+    # -- trial-engine APIs ---------------------------------------------
+
+    def run_flags(
+        self,
+        distribution: DiscreteDistribution,
+        is_uniform: bool,
+        trials: int,
+        base_seed: int = 0,
+        workers: int = 1,
+        engine_check: float = 0.0,
+    ) -> np.ndarray:
+        """Per-trial error flags, bit-identical to the engine route
+        (labels ``("hardened", k)``); see
+        :meth:`CongestTrialRunner.run_flags` for the ``engine_check``
+        contract."""
+        if not 0.0 <= engine_check <= 1.0:
+            raise ParameterError(
+                f"engine_check must be in [0, 1], got {engine_check}"
+            )
+        kernel = HardenedVerdictKernel(
+            distribution=distribution,
+            members=self.layout.members,
+            threshold=self.threshold,
+            total_tokens=self.layout.total_tokens,
+            is_uniform=is_uniform,
+            root_alive=self.layout.root_alive,
+        )
+        flags = TrialRunner(base_seed=base_seed).run_flags_batched(
+            kernel,
+            trials,
+            "hardened",
+            self.topology.k,
+            batch=auto_batch(self.layout.total_tokens),
+            workers=workers,
+        )
+        if engine_check > 0.0:
+            checked = min(trials, max(1, int(round(engine_check * trials))))
+            experiment = _HardenedTrialExperiment(
+                tester=self.tester,
+                topology=self.topology,
+                distribution=distribution,
+                is_uniform=is_uniform,
+                faults=self.faults,
+                d_hint=self.d_hint,
+            )
+            engine_flags = TrialRunner(base_seed=base_seed).run_flags(
+                experiment, checked, "hardened", self.topology.k
+            )
+            if not np.array_equal(engine_flags, flags[:checked]):
+                bad = np.flatnonzero(engine_flags != flags[:checked])
+                raise SimulationError(
+                    f"pack-then-replay verdicts diverge from the engine on "
+                    f"trials {bad[:8].tolist()} of {checked} checked — "
+                    f"bit-identity contract broken"
+                )
+        return flags
+
+    def error_rate(
+        self,
+        distribution: DiscreteDistribution,
+        is_uniform: bool,
+        trials: int,
+        base_seed: int = 0,
+        workers: int = 1,
+        engine_check: float = 0.0,
+    ) -> float:
+        """Monte-Carlo error rate over :meth:`run_flags`."""
+        flags = self.run_flags(
+            distribution,
+            is_uniform,
+            trials,
+            base_seed=base_seed,
+            workers=workers,
+            engine_check=engine_check,
+        )
+        return float(flags.sum()) / trials

@@ -25,6 +25,7 @@ from repro.core.baselines import (
 )
 from repro.core.collision import (
     CollisionGapTester,
+    collision_free_log_probability_uniform,
     collision_free_probability_uniform,
     far_accept_upper_bound,
     gamma_slack,
@@ -48,6 +49,7 @@ __all__ = [
     "sample_size_for_delta",
     "gamma_slack",
     "validity_region",
+    "collision_free_log_probability_uniform",
     "collision_free_probability_uniform",
     "far_accept_upper_bound",
     "RepeatedAndTester",

@@ -100,19 +100,39 @@ def validity_region(n: int, delta: float, eps: float) -> Tuple[bool, str]:
     return True, ""
 
 
-def collision_free_probability_uniform(n: int, s: int) -> float:
-    """Exact ``Pr[no collision]`` for ``s`` uniform samples on ``[n]``.
+def collision_free_log_probability_uniform(n: int, s: int) -> float:
+    """``ln Pr[no collision]`` for ``s`` uniform samples on ``[n]``.
 
-    The birthday product ``∏_{i=0}^{s−1} (1 − i/n)``, computed in log space
-    for numerical stability.  Always at least ``1 − binom(s,2)/n`` (the
-    Markov/union bound the paper uses), a fact the tests verify.
+    The log of the birthday product, ``Σ_{i=0}^{s−1} ln(1 − i/n)``, and
+    ``−inf`` for ``s > n`` (a collision is then certain).  This is the
+    numerically safe form: for ``s² ≫ n`` (large-τ packages on a small
+    domain) the product itself underflows ``float64`` to ``0.0`` around
+    ``ln P < −745``, while the log stays finite and matches the lgamma
+    identity ``lgamma(n+1) − lgamma(n−s+1) − s·ln n`` to machine
+    precision — callers that need ratios or complements of tiny
+    survival probabilities should work from this value.
     """
+    if n < 1:
+        raise ParameterError(f"domain size must be >= 1, got {n}")
     if s < 0:
         raise ParameterError(f"s must be >= 0, got {s}")
     if s > n:
-        return 0.0
+        return float("-inf")
     i = np.arange(s, dtype=np.float64)
-    return float(np.exp(np.log1p(-i / n).sum()))
+    return float(np.log1p(-i / n).sum())
+
+
+def collision_free_probability_uniform(n: int, s: int) -> float:
+    """Exact ``Pr[no collision]`` for ``s`` uniform samples on ``[n]``.
+
+    ``exp`` of :func:`collision_free_log_probability_uniform`; the
+    product ``∏_{i=0}^{s−1} (1 − i/n)`` is always computed in log space
+    for numerical stability.  Always at least ``1 − binom(s,2)/n`` (the
+    Markov/union bound the paper uses), a fact the tests verify.  In the
+    deep-underflow corner (``s² ≫ n``) this linear-scale value rounds to
+    ``0.0``; use the log variant when that distinction matters.
+    """
+    return float(np.exp(collision_free_log_probability_uniform(n, s)))
 
 
 def far_accept_upper_bound(chi: float, s: int) -> float:

@@ -29,7 +29,7 @@ from repro.congest.hardened import (
     RetryPolicy,
 )
 from repro.distributions import far_family, uniform
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, SimulationError
 from repro.simulator.faults import FaultPlan
 from repro.simulator.graph import Topology
 
@@ -123,6 +123,8 @@ def robustness_sweep(
     trials: int = 10,
     base_seed: int = 0,
     policy: Optional[RetryPolicy] = None,
+    fast_path: bool = False,
+    engine_check: float = 0.0,
 ) -> Tuple[RobustnessPoint, ...]:
     """Sweep the hardened tester over a fault grid; one point per combo.
 
@@ -132,9 +134,25 @@ def robustness_sweep(
     comparable.  A run whose verdict is ``None`` (the root crashed; ruled
     out by :func:`_crash_plan` but possible with custom plans) counts as
     an error on both sides and in ``no_verdict``.
+
+    ``fast_path=True`` computes the *fault-free* grid points (drop 0 and
+    no crashes) through the trial plane's layout replay
+    (:class:`~repro.congest.trial_plane.HardenedTrialRunner`) instead of
+    per-trial engine runs — valid only there, because this sweep keys
+    the fault plan to the trial index, so faulty points realise a
+    different layout every trial.  A subset of
+    ``max(1, round(engine_check · trials))`` trials still runs through
+    the engine: it supplies the ``mean_*`` degradation columns (which
+    only the engine can measure — averaged over the checked subset) and
+    cross-checks the replayed verdicts, raising
+    :class:`~repro.exceptions.SimulationError` on any disagreement.
     """
     if trials < 1:
         raise ParameterError(f"trials must be >= 1, got {trials}")
+    if not 0.0 <= engine_check <= 1.0:
+        raise ParameterError(
+            f"engine_check must be in [0, 1], got {engine_check}"
+        )
     tester = HardenedCongestTester.solve(
         n, k, eps, p, samples_per_node, policy=policy
     )
@@ -144,6 +162,11 @@ def robustness_sweep(
     dist_u = uniform(n)
     dist_far = far_family("paninski", n, min(eps, 1.0), rng=base_seed)
 
+    # Imported here: repro.experiments.__init__ loads this module, and
+    # the trial plane itself uses the trial engine from this package.
+    from repro.congest.trial_plane import HardenedTrialRunner
+
+    replay_runner: Optional[HardenedTrialRunner] = None
     points = []
     for drop in drop_probs:
         for frac in crash_fractions:
@@ -151,7 +174,27 @@ def robustness_sweep(
             rounds = drops = missing = shortfall = unheard = 0.0
             agreement = 0.0
             crashed_nodes = int(frac * (k - 1))
-            for t in range(trials):
+            replayable = fast_path and drop == 0.0 and crashed_nodes == 0
+            if replayable:
+                if replay_runner is None:
+                    replay_runner = HardenedTrialRunner.build(
+                        tester, topo, faults=FaultPlan.none(), d_hint=d_hint
+                    )
+                seeds = [base_seed + t for t in range(trials)]
+                fast_u = replay_runner.verdicts_for_seeds(dist_u, seeds)
+                fast_f = replay_runner.verdicts_for_seeds(dist_far, seeds)
+                err_u = sum(v is not True for v in fast_u)
+                err_f = sum(v is not False for v in fast_f)
+                no_verdict = sum(v is None for v in fast_u) + sum(
+                    v is None for v in fast_f
+                )
+                engine_trials = min(
+                    trials, max(1, int(round(engine_check * trials)))
+                )
+            else:
+                fast_u = fast_f = []
+                engine_trials = trials
+            for t in range(engine_trials):
                 plan = FaultPlan(
                     seed=base_seed * 1_000_003 + t,
                     drop_prob=drop,
@@ -163,18 +206,30 @@ def robustness_sweep(
                 res_f = tester.run(
                     topo, dist_far, rng=base_seed + t, faults=plan
                 )
-                err_u += res_u.verdict is not True
-                err_f += res_f.verdict is not False
-                no_verdict += (res_u.verdict is None) + (
-                    res_f.verdict is None
-                )
+                if replayable:
+                    if (res_u.verdict, res_f.verdict) != (
+                        fast_u[t],
+                        fast_f[t],
+                    ):
+                        raise SimulationError(
+                            f"trial-plane verdicts diverge from the engine "
+                            f"at fault-free trial {t}: engine "
+                            f"({res_u.verdict}, {res_f.verdict}) vs replay "
+                            f"({fast_u[t]}, {fast_f[t]})"
+                        )
+                else:
+                    err_u += res_u.verdict is not True
+                    err_f += res_f.verdict is not False
+                    no_verdict += (res_u.verdict is None) + (
+                        res_f.verdict is None
+                    )
                 rounds += res_u.report.rounds + res_f.report.rounds
                 drops += res_u.report.drops + res_f.report.drops
                 missing += res_u.missing_subtrees + res_f.missing_subtrees
                 shortfall += res_u.shortfall + res_f.shortfall
                 unheard += res_u.unheard + res_f.unheard
                 agreement += res_u.agreement + res_f.agreement
-            runs = 2 * trials
+            runs = 2 * engine_trials
             points.append(
                 RobustnessPoint(
                     topology=topology,

@@ -257,6 +257,31 @@ def _last_axis_has_collision(tensor: np.ndarray) -> np.ndarray:
     return (np.diff(ordered, axis=-1) == 0).any(axis=-1)
 
 
+def grouped_collision_flags(samples: np.ndarray, members: np.ndarray) -> np.ndarray:
+    """Per-group collision flags for arbitrary index groups of equal size.
+
+    ``samples`` has shape ``(..., total)`` (typically ``(trials, total)``)
+    and ``members`` is an integer ``(groups, size)`` array of column
+    indices into the last axis; the result has shape ``(..., groups)``
+    with ``True`` where a group's gathered values contain a repeat.
+
+    This is the gather-then-sort generalisation of the contiguous-slice
+    kernels above: the CONGEST trial plane uses it with ``members`` =
+    a :class:`~repro.congest.trial_plane.PackagingLayout`'s per-package
+    token-slot lists, which need not be contiguous in sample order.
+    """
+    members = np.asarray(members)
+    if members.ndim != 2:
+        raise ParameterError(
+            f"members must be a (groups, size) index array, got shape "
+            f"{members.shape}"
+        )
+    samples = np.asarray(samples)
+    if members.size == 0:
+        return np.zeros(samples.shape[:-1] + (members.shape[0],), dtype=bool)
+    return _last_axis_has_collision(samples[..., members])
+
+
 def collision_reject_flags(
     distribution: DiscreteDistribution,
     k: int,

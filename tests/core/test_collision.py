@@ -9,6 +9,7 @@ import pytest
 
 from repro.core import (
     CollisionGapTester,
+    collision_free_log_probability_uniform,
     collision_free_probability_uniform,
     far_accept_upper_bound,
     gamma_slack,
@@ -108,6 +109,34 @@ class TestExactProbabilities:
         exact = collision_free_probability_uniform(n, s)
         bound = far_accept_upper_bound(1.0 / n, s)
         assert exact <= bound + 1e-12
+
+    def test_log_space_matches_lgamma_identity(self):
+        # ln prod (1 - i/n) == lgamma(n+1) - lgamma(n-s+1) - s ln n.
+        for n, s in [(365, 23), (1000, 100), (50, 49)]:
+            got = collision_free_log_probability_uniform(n, s)
+            want = (
+                math.lgamma(n + 1) - math.lgamma(n - s + 1) - s * math.log(n)
+            )
+            assert got == pytest.approx(want, rel=1e-12)
+
+    def test_log_space_survives_underflow_corner(self):
+        # tau^2 >> n: the linear-scale probability underflows float64 to
+        # exactly 0.0, but the log stays finite and correct.
+        n, s = 1000, 999
+        log_p = collision_free_log_probability_uniform(n, s)
+        assert math.isfinite(log_p)
+        want = math.lgamma(n + 1) - math.lgamma(n - s + 1) - s * math.log(n)
+        assert log_p == pytest.approx(want, rel=1e-10)
+        assert collision_free_probability_uniform(n, s) == 0.0
+
+    def test_log_space_edges(self):
+        assert collision_free_log_probability_uniform(10, 0) == 0.0
+        assert collision_free_log_probability_uniform(10, 1) == 0.0
+        assert collision_free_log_probability_uniform(5, 6) == -math.inf
+        with pytest.raises(ParameterError, match="domain"):
+            collision_free_log_probability_uniform(0, 3)
+        with pytest.raises(ParameterError, match="s must be"):
+            collision_free_log_probability_uniform(10, -1)
 
 
 class TestCollisionDetection:

@@ -85,6 +85,41 @@ class TestOtherCommands:
         assert "package size tau" in out
         assert "D=20" in out
 
+    def test_solve_congest_trials_fast_path(self, capsys):
+        code = main(
+            ["solve-congest", "--n", "200", "--k", "60",
+             "--samples-per-node", "64", "--trials", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "measured over 5 trials on star (trial plane)" in out
+        assert "err(uniform)=" in out and "err(far)=" in out
+
+    def test_solve_congest_engine_route_agrees(self, capsys):
+        args = ["solve-congest", "--n", "200", "--k", "60",
+                "--samples-per-node", "64", "--trials", "4"]
+        assert main(args) == 0
+        fast = capsys.readouterr().out.splitlines()[-1]
+        assert main(args + ["--engine"]) == 0
+        engine = capsys.readouterr().out.splitlines()[-1]
+        # Same error rates either route; only the label differs.
+        assert fast.replace("trial plane", "engine") == engine
+
+    def test_solve_congest_nonpositive_trials_exits_2(self, capsys):
+        for bad in ("0", "-3"):
+            code = main(
+                ["solve-congest", "--n", "200", "--k", "60",
+                 "--trials", bad]
+            )
+            err = capsys.readouterr().err
+            assert code == 2
+            assert "--trials must be a positive trial count" in err
+
+    def test_solve_congest_fast_path_engine_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["solve-congest", "--n", "200", "--k", "60",
+                  "--trials", "2", "--fast-path", "--engine"])
+
     def test_demo(self, capsys):
         code = main(["demo", "--n", "20000", "--k", "10000", "--eps", "1.0"])
         out = capsys.readouterr().out

@@ -1,0 +1,157 @@
+"""Tests for the benchmark regression gate.
+
+The compare functions are exercised directly on synthetic payloads (the
+interesting logic: recursive ``*_seconds`` collection, per-trial
+normalisation, tolerance maths), and the CLI end to end via ``--fresh-*``
+payload files so no benchmark actually reruns.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_compare", ROOT / "tools" / "bench_compare.py"
+)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+class TestCollectSeconds:
+    def test_flattens_nested_seconds_fields(self):
+        payload = {
+            "schema": "x/v1",
+            "warm_seconds": 2.0,
+            "section": {"cold_seconds": 4.0, "other": 1},
+            "points": [{"t_seconds": 1.0}, {"t_seconds": 3.0}],
+        }
+        fields = bench_compare.collect_seconds(payload)
+        assert fields["warm_seconds"] == (2.0, 1.0)
+        assert fields["section.cold_seconds"] == (4.0, 1.0)
+        assert fields["points[0].t_seconds"] == (1.0, 1.0)
+        assert fields["points[1].t_seconds"] == (3.0, 1.0)
+
+    def test_trials_scale_from_sibling_and_workload(self):
+        payload = {
+            "workload": {"trials": 100},
+            "serial_seconds": 50.0,
+            "e6": {"trials": 10, "warm_seconds": 5.0},
+            "e5": {"repeats": 4, "cold_seconds": 2.0},
+        }
+        fields = bench_compare.collect_seconds(payload)
+        # Top-level timing scales by workload.trials; sections by their
+        # own trials/repeats (overriding the inherited scale).
+        assert fields["serial_seconds"] == (50.0, 100.0)
+        assert fields["e6.warm_seconds"] == (5.0, 10.0)
+        assert fields["e5.cold_seconds"] == (2.0, 4.0)
+
+    def test_non_seconds_fields_ignored(self):
+        fields = bench_compare.collect_seconds(
+            {"speedup": 3.0, "rounds": 7, "name": "x"}
+        )
+        assert fields == {}
+
+
+class TestComparePayloads:
+    def test_per_trial_normalisation_masks_trial_count_change(self):
+        # Full run committed, smoke run fresh: same per-trial speed.
+        committed = {"trials": 1000, "warm_seconds": 10.0}
+        fresh = {"trials": 10, "warm_seconds": 0.1}
+        rows, regressions = bench_compare.compare_payloads(
+            committed, fresh, tolerance=0.30
+        )
+        assert len(rows) == 1 and not regressions
+        assert rows[0]["ratio"] == pytest.approx(1.0)
+
+    def test_regression_beyond_tolerance_flagged(self):
+        committed = {"trials": 10, "warm_seconds": 1.0}
+        fresh = {"trials": 10, "warm_seconds": 1.5}
+        rows, regressions = bench_compare.compare_payloads(
+            committed, fresh, tolerance=0.30
+        )
+        assert len(regressions) == 1
+        assert regressions[0]["path"] == "warm_seconds"
+        assert regressions[0]["ratio"] == pytest.approx(1.5)
+
+    def test_slowdown_within_tolerance_passes(self):
+        committed = {"warm_seconds": 1.0}
+        fresh = {"warm_seconds": 1.25}
+        _, regressions = bench_compare.compare_payloads(
+            committed, fresh, tolerance=0.30
+        )
+        assert not regressions
+
+    def test_speedups_and_new_fields_never_fail(self):
+        committed = {"warm_seconds": 1.0}
+        fresh = {"warm_seconds": 0.2, "new_section": {"fast_seconds": 99.0}}
+        rows, regressions = bench_compare.compare_payloads(
+            committed, fresh, tolerance=0.0
+        )
+        assert [r["path"] for r in rows] == ["warm_seconds"]
+        assert not regressions
+
+    def test_noise_floor_skips_sub_millisecond_timings(self):
+        committed = {"tiny_seconds": 0.0002}
+        fresh = {"tiny_seconds": 0.0009}  # 4.5x "slower" — pure noise
+        rows, regressions = bench_compare.compare_payloads(
+            committed, fresh, tolerance=0.30
+        )
+        assert not rows and not regressions
+
+
+class TestCli:
+    def _run(self, tmp_path, committed, fresh, extra=()):
+        committed_path = tmp_path / "committed.json"
+        fresh_path = tmp_path / "fresh.json"
+        committed_path.write_text(json.dumps(committed))
+        fresh_path.write_text(json.dumps(fresh))
+        missing = tmp_path / "missing.json"
+        return subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "bench_compare.py"),
+             "--committed-trials", str(committed_path),
+             "--fresh-trials", str(fresh_path),
+             # Point the protocol pair at a nonexistent committed file so
+             # only the synthetic pair is compared (and nothing reruns).
+             "--committed-protocol", str(missing),
+             "--fresh-protocol", str(missing),
+             *extra],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+
+    def test_passes_within_tolerance(self, tmp_path):
+        result = self._run(
+            tmp_path,
+            {"trials": 10, "warm_seconds": 1.0},
+            {"trials": 10, "warm_seconds": 1.1},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "0 regression(s)" in result.stdout
+
+    def test_fails_on_regression(self, tmp_path):
+        result = self._run(
+            tmp_path,
+            {"trials": 10, "warm_seconds": 1.0},
+            {"trials": 10, "warm_seconds": 2.0},
+        )
+        assert result.returncode == 1
+        assert "REGRESSED" in result.stdout
+        assert "regression beyond tolerance" in result.stderr
+
+    def test_tolerance_flag(self, tmp_path):
+        result = self._run(
+            tmp_path,
+            {"trials": 10, "warm_seconds": 1.0},
+            {"trials": 10, "warm_seconds": 2.0},
+            extra=("--tolerance", "1.5"),
+        )
+        assert result.returncode == 0, result.stdout

@@ -42,3 +42,10 @@ def test_smoke_run_writes_valid_report(tmp_path):
     # tree-building prefix.
     e5 = payload["e5_packaging"]
     assert e5["warm_rounds"] < e5["cold_rounds"]
+    # The trial plane must agree bit for bit with the engine route and
+    # beat the warm engine by a wide margin.
+    e15 = payload["e6_trial_plane"]
+    assert e15["bit_identical"]["fast_vs_engine"] is True
+    assert e15["equivalent"] is True
+    assert e15["speedup_vs_warm"] > 10
+    assert e15["layout_seconds"] > 0

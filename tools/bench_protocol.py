@@ -45,7 +45,11 @@ sys.path.insert(0, str(ROOT / "src"))
 import numpy as np  # noqa: E402
 
 import repro.congest.tester as tester_mod  # noqa: E402
-from repro.congest import CongestUniformityTester, verify_warm_start  # noqa: E402
+from repro.congest import (  # noqa: E402
+    CongestTrialRunner,
+    CongestUniformityTester,
+    verify_warm_start,
+)
 from repro.congest.tester import _alarm_probabilities  # noqa: E402
 from repro.congest.token_packaging import run_token_packaging  # noqa: E402
 from repro.core.binomial import find_separating_threshold  # noqa: E402
@@ -289,6 +293,86 @@ def bench_e6_tester(trials: int) -> dict:
     }
 
 
+def bench_e6_trial_plane(trials: int, smoke: bool) -> dict:
+    """E6 error-rate trials: warm engine vs the vectorised trial plane.
+
+    The trial plane extracts the packaging layout once (timed
+    separately as ``layout_seconds``) and then replays it over batched
+    sample matrices; ``fast_seconds`` times the steady-state replay on
+    the same seeds the warm engine route runs, and the verdicts must
+    match bit for bit.
+    """
+    tester = CongestUniformityTester.solve(E6_N, E6_K, E6_EPS)
+    far = far_family("paninski", E6_N, E6_EPS, rng=0)
+    seeds = [BASE_SEED + i for i in range(trials)]
+
+    topo = Topology.star(E6_K)
+    start = time.perf_counter()
+    runner = CongestTrialRunner.build(tester, topo)
+    t_layout = time.perf_counter() - start
+
+    start = time.perf_counter()
+    v_engine = [
+        tester.run(topo, far, rng=seed, warm_start=True)[0] for seed in seeds
+    ]
+    t_warm = time.perf_counter() - start
+
+    t_fast = float("inf")
+    for _ in range(5):  # steady state: best of a few passes
+        start = time.perf_counter()
+        v_fast = runner.verdicts_for_seeds(far, seeds)
+        t_fast = min(t_fast, time.perf_counter() - start)
+    identical = v_fast == v_engine
+
+    speedup = t_warm / t_fast
+    print(f"E6 trial plane  n={E6_N} k={E6_K} tau={tester.params.tau} "
+          f"trials={trials}")
+    print(f"  layout extraction   : {t_layout * 1000:7.1f} ms (once per "
+          f"topology)")
+    print(f"  warm engine trials  : {t_warm:7.3f} s "
+          f"({t_warm / trials * 1000:6.1f} ms/trial)")
+    print(f"  trial-plane trials  : {t_fast:7.3f} s "
+          f"({t_fast / trials * 1000:6.3f} ms/trial)  [{speedup:.0f}x]")
+    print(f"  verdicts identical  : {identical}")
+
+    if not smoke:
+        from repro.experiments import Table
+
+        table = Table(
+            ["route", "seconds", "ms/trial", "speedup"],
+            title=f"E15 - trial plane vs warm engine, E6 error-rate "
+                  f"workload (n={E6_N}, k={E6_K}, tau={tester.params.tau}, "
+                  f"{trials} trials)",
+        )
+        table.add_row(["warm engine", f"{t_warm:.3f}",
+                       f"{t_warm / trials * 1000:.1f}", "1x"])
+        table.add_row(["trial plane", f"{t_fast:.4f}",
+                       f"{t_fast / trials * 1000:.3f}", f"{speedup:.0f}x"])
+        table.add_row(["layout extraction (once)", f"{t_layout:.3f}", "-",
+                       "-"])
+        results_dir = ROOT / "benchmarks" / "results"
+        results_dir.mkdir(parents=True, exist_ok=True)
+        (results_dir / "e15_trial_plane.txt").write_text(
+            table.render() + "\n"
+        )
+
+    return {
+        "n": E6_N,
+        "k": E6_K,
+        "eps": E6_EPS,
+        "tau": tester.params.tau,
+        "topology": "star",
+        "trials": trials,
+        "virtual_nodes": runner.layout.virtual_nodes,
+        "layout_seconds": round(t_layout, 5),
+        "warm_engine_seconds": round(t_warm, 4),
+        "fast_seconds": round(t_fast, 6),
+        "speedup_vs_warm": round(speedup, 1),
+        "bit_identical": {"fast_vs_engine": identical},
+        "equivalent": identical,
+    }
+
+
 def bench_e5_packaging(repeats: int) -> dict:
     topo = Topology.grid(8, 8)
     tau = 8
@@ -382,6 +466,7 @@ def main(argv=None) -> int:
     print(f"protocol fast-path benchmark  cpu_count={os.cpu_count()}")
     e5 = bench_e5_packaging(repeats)
     e6 = bench_e6_tester(trials)
+    e15 = bench_e6_trial_plane(trials, args.smoke)
     e7 = bench_e7_gather(repeats)
 
     payload = {
@@ -391,12 +476,14 @@ def main(argv=None) -> int:
         "base_seed": BASE_SEED,
         "e5_packaging": e5,
         "e6_tester": e6,
+        "e6_trial_plane": e15,
         "e7_gather": e7,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
 
-    if not (e5["equivalent"] and e6["equivalent"] and e7["equivalent"]):
+    if not (e5["equivalent"] and e6["equivalent"] and e15["equivalent"]
+            and e7["equivalent"]):
         print("ERROR: fast path disagrees with the full protocol — "
               "equivalence contract broken", file=sys.stderr)
         return 1
