@@ -10,6 +10,10 @@ Commands
 ``solve-congest``
     Choose the Theorem 1.4 package size τ and print predicted rounds for
     a given diameter.
+``robustness``
+    Sweep the hardened Theorem 1.4 tester over a (drop × crash) fault
+    grid, by default through the vectorized fault-plane replay with an
+    engine cross-check subset.
 ``demo``
     Run a quick end-to-end demonstration: threshold network on uniform vs
     a certified ε-far distribution.
@@ -145,6 +149,64 @@ def _cmd_solve_congest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.experiments import robustness_sweep
+
+    if args.trials <= 0:
+        raise ParameterError(
+            f"--trials must be a positive trial count, got {args.trials}"
+        )
+    if not 0.0 <= args.engine_check <= 1.0:
+        raise ParameterError(
+            f"--engine-check must be in [0, 1], got {args.engine_check}"
+        )
+    for drop in args.drop_probs:
+        if not 0.0 <= drop <= 1.0:
+            raise ParameterError(
+                f"--drop-probs entries must be in [0, 1], got {drop}"
+            )
+    for frac in args.crash_fractions:
+        if not 0.0 <= frac < 1.0:
+            raise ParameterError(
+                f"--crash-fractions entries must be in [0, 1), got {frac}"
+            )
+    points = robustness_sweep(
+        args.n,
+        args.k,
+        args.eps,
+        p=args.p,
+        samples_per_node=args.samples_per_node,
+        topology=args.topology,
+        drop_probs=tuple(args.drop_probs),
+        crash_fractions=tuple(args.crash_fractions),
+        trials=args.trials,
+        base_seed=args.seed,
+        fast_path=args.fast_path,
+        engine_check=args.engine_check,
+    )
+    path = "fault plane" if args.fast_path else "engine"
+    table = Table(
+        ["drop", "crash", "err(unif)", "err(far)", "missing", "shortfall",
+         "unheard", "agree", "engine trials"],
+        title=f"Robustness: {args.topology}(k={args.k}) n={args.n} "
+              f"eps={args.eps} trials={args.trials} [{path}]",
+    )
+    for pt in points:
+        table.add_row([
+            f"{pt.drop_prob:.2f}",
+            f"{pt.crash_fraction:.2f}",
+            f"{pt.error_uniform:.2f}",
+            f"{pt.error_far:.2f}",
+            f"{pt.mean_missing_subtrees:.1f}",
+            f"{pt.mean_shortfall:.1f}",
+            f"{pt.mean_unheard:.1f}",
+            f"{pt.mean_agreement:.2f}",
+            pt.engine_trials,
+        ])
+    print(table.render())
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     tester = ThresholdNetworkTester.solve(args.n, args.k, args.eps, args.p)
     u = uniform(args.n)
@@ -220,6 +282,35 @@ def build_parser() -> argparse.ArgumentParser:
     path.add_argument("--engine", dest="fast_path", action="store_false",
                       help="estimate via full per-trial engine runs")
     p.set_defaults(func=_cmd_solve_congest)
+
+    p = sub.add_parser(
+        "robustness",
+        help="sweep the hardened Theorem 1.4 tester over a fault grid",
+    )
+    _add_common(p)
+    p.add_argument("--samples-per-node", type=int, default=1,
+                   help="initial samples (tokens) per node")
+    p.add_argument("--topology", choices=("star", "ring", "grid"),
+                   default="star", help="benchmark topology")
+    p.add_argument("--trials", type=int, default=10,
+                   help="Monte-Carlo trials per grid point")
+    p.add_argument("--drop-probs", type=float, nargs="+",
+                   default=[0.0, 0.05],
+                   help="message-drop probabilities to sweep")
+    p.add_argument("--crash-fractions", type=float, nargs="+",
+                   default=[0.0],
+                   help="crash-stop fractions of the non-root nodes")
+    p.add_argument("--engine-check", type=float, default=1 / 3,
+                   help="fraction of trials per point re-run through the "
+                        "engine to cross-check the replay (fast path only)")
+    path = p.add_mutually_exclusive_group()
+    path.add_argument("--fast-path", dest="fast_path", action="store_true",
+                      default=True,
+                      help="replay the grid through the vectorised fault "
+                           "plane (default; bit-identical to the engine)")
+    path.add_argument("--engine", dest="fast_path", action="store_false",
+                      help="run every trial through the full engine")
+    p.set_defaults(func=_cmd_robustness)
 
     p = sub.add_parser("demo", help="run the threshold tester once")
     _add_common(p)

@@ -21,6 +21,11 @@ Two layers:
   :class:`~repro.congest.trial_plane.RealisedLayout` via pack-then-replay
   under a fixed fault plan), then batch whole trial matrices through
   numpy collision kernels, bit-identical per seed to the engine path.
+- :mod:`repro.congest.fault_plane` — the same idea for
+  **per-trial-keyed** fault plans (one :class:`FaultPlan` per trial, as
+  in robustness sweeps): replay the hardened protocol's control flow —
+  flooding, retry ladders, token transfer, give-ups — as array ops over
+  the whole plan batch, no engine runs at all.
 """
 
 from repro.congest.token_packaging import (
@@ -48,6 +53,12 @@ from repro.congest.hardened import (
     PhaseSchedule,
     RetryPolicy,
     run_hardened_packaging,
+)
+from repro.congest.fault_plane import (
+    FaultPlaneScore,
+    HardenedFaultPlane,
+    ReplayedTrials,
+    replay_hardened_trials,
 )
 from repro.congest.trial_plane import (
     CongestTrialRunner,
@@ -87,4 +98,8 @@ __all__ = [
     "LayoutCheck",
     "PackagingLayout",
     "RealisedLayout",
+    "FaultPlaneScore",
+    "HardenedFaultPlane",
+    "ReplayedTrials",
+    "replay_hardened_trials",
 ]

@@ -965,9 +965,11 @@ CongestUniformityTester`; the execution swaps the quiet-round protocol
         verdict mismatch.
 
         This replay is only sound for a plan that is fixed across
-        trials; sweeps that re-key the plan per trial (e.g. E14's
-        ``robustness_sweep``) must use the engine path except at their
-        fault-free points.
+        trials.  Sweeps that re-key the plan per trial (e.g. E14's
+        ``robustness_sweep``) go through the vectorized fault plane
+        instead (:class:`~repro.congest.fault_plane.HardenedFaultPlane`),
+        which replays one trial per plan — hardened control flow and
+        all — without instantiating nodes.
         """
         if trials < 1:
             raise ParameterError(f"trials must be >= 1, got {trials}")

@@ -16,7 +16,7 @@ trials, and a trial's verdict reduces to
 3. compare the alarm count against the Theorem 1.2 threshold for the
    realised package count ``ℓ`` (a constant).
 
-Two layout sources:
+Three layout sources — division of labour:
 
 - :class:`PackagingLayout` — computed directly from the cached
   :class:`~repro.simulator.graph.TreeSchedule` by simulating the TOKENS
@@ -30,6 +30,13 @@ Two layout sources:
   the set of subtree votes the root counts are identical across sample
   redraws.  One instrumented engine run extracts them; every further
   trial is a numpy pass.
+- :class:`~repro.congest.fault_plane.HardenedFaultPlane` — batched
+  replay for **per-trial-keyed** plans (one distinct
+  :class:`~repro.simulator.faults.FaultPlan` per trial, as in the E14
+  robustness sweep), where every trial realises a different layout and
+  pack-then-replay would need one engine run each.  It re-derives the
+  layouts themselves — flooding, retries, token transfer, give-ups — as
+  array ops over the whole plan batch, no engine runs at all.
 
 Bit-identity contract: the batched kernels consume the trial engine's
 chunk-keyed streams exactly like the scalar engine experiments (one

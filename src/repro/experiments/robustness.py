@@ -13,11 +13,20 @@ Determinism: trial ``t`` of point ``(d, c)`` uses sampling seed
 from the same trial index, with crash victims drawn (never the elected
 root ``k−1``, which would void the verdict entirely) by a generator keyed
 on ``(base_seed, trial)`` — rerunning a sweep reproduces it bit for bit.
+
+``fast_path=True`` replays the whole grid — every per-trial-keyed plan,
+faulty or not — through the vectorized fault plane
+(:mod:`repro.congest.fault_plane`), bit-identical to the engine per
+seed; the ``engine_check`` subset keeps the engine as measurement of
+record for the observables only it can see (rounds, raw drop counts)
+and raises :class:`~repro.exceptions.SimulationError` on any verdict or
+counter divergence.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -29,7 +38,7 @@ from repro.congest.hardened import (
     RetryPolicy,
 )
 from repro.distributions import far_family, uniform
-from repro.exceptions import ParameterError, SimulationError
+from repro.exceptions import ParameterError
 from repro.simulator.faults import FaultPlan
 from repro.simulator.graph import Topology
 
@@ -69,6 +78,14 @@ class RobustnessPoint:
     mean_shortfall: float
     mean_unheard: float
     mean_agreement: float
+    #: Trials re-run through the engine (all of them without the fast
+    #: path; the ``engine_check`` subset with it; 0 = replay only).
+    engine_trials: int = 0
+    #: Wall-clock spent in the fault-plane replay, amortised over the
+    #: grid points sharing one batched build (0.0 without the fast path).
+    fast_path_seconds: float = 0.0
+    #: Wall-clock spent in this point's engine runs.
+    engine_seconds: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -86,6 +103,9 @@ class RobustnessPoint:
             "mean_shortfall": self.mean_shortfall,
             "mean_unheard": self.mean_unheard,
             "mean_agreement": self.mean_agreement,
+            "engine_trials": self.engine_trials,
+            "fast_path_seconds": self.fast_path_seconds,
+            "engine_seconds": self.engine_seconds,
         }
 
 
@@ -135,16 +155,17 @@ def robustness_sweep(
     out by :func:`_crash_plan` but possible with custom plans) counts as
     an error on both sides and in ``no_verdict``.
 
-    ``fast_path=True`` computes the *fault-free* grid points (drop 0 and
-    no crashes) through the trial plane's layout replay
-    (:class:`~repro.congest.trial_plane.HardenedTrialRunner`) instead of
-    per-trial engine runs — valid only there, because this sweep keys
-    the fault plan to the trial index, so faulty points realise a
-    different layout every trial.  A subset of
-    ``max(1, round(engine_check · trials))`` trials still runs through
-    the engine: it supplies the ``mean_*`` degradation columns (which
-    only the engine can measure — averaged over the checked subset) and
-    cross-checks the replayed verdicts, raising
+    ``fast_path=True`` replays *every* grid point — per-trial-keyed
+    fault plans included — through the vectorized fault plane
+    (:class:`~repro.congest.fault_plane.HardenedFaultPlane`): one
+    batched build covers the whole grid, and each trial's samples are
+    drawn once and shared across points (the engine would redraw them
+    per point, but trial ``t`` uses seed ``base_seed + t`` everywhere).
+    A subset of ``max(1, round(engine_check · trials))`` trials per
+    point still runs through the engine: it supplies ``mean_rounds`` /
+    ``mean_drops`` (observables only the engine measures; 0.0 when
+    ``engine_check`` is 0) and cross-checks the replayed verdicts,
+    agreement, and give-up counters, raising
     :class:`~repro.exceptions.SimulationError` on any disagreement.
     """
     if trials < 1:
@@ -161,91 +182,132 @@ def robustness_sweep(
     schedule = PhaseSchedule.build(d_hint, tester.params.tau, tester.policy)
     dist_u = uniform(n)
     dist_far = far_family("paninski", n, min(eps, 1.0), rng=base_seed)
+    grid = [(drop, frac) for drop in drop_probs for frac in crash_fractions]
 
-    # Imported here: repro.experiments.__init__ loads this module, and
-    # the trial plane itself uses the trial engine from this package.
-    from repro.congest.trial_plane import HardenedTrialRunner
+    def point_plan(drop: float, frac: float, t: int) -> FaultPlan:
+        return FaultPlan(
+            seed=base_seed * 1_000_003 + t,
+            drop_prob=drop,
+            crashes=_crash_plan(k, frac, schedule.count_end, base_seed, t),
+        )
 
-    replay_runner: Optional[HardenedTrialRunner] = None
+    score_u = score_f = None
+    fast_share = 0.0
+    if fast_path:
+        # Imported here: repro.experiments.__init__ loads this module,
+        # and the fault plane uses the congest package.
+        from repro.congest.fault_plane import HardenedFaultPlane
+        from repro.rng import ensure_rng
+
+        fast_start = time.perf_counter()
+        plans = [
+            point_plan(drop, frac, t)
+            for drop, frac in grid
+            for t in range(trials)
+        ]
+        plane = HardenedFaultPlane.build(tester, topo, plans, d_hint=d_hint)
+        # Trial t draws the same samples at every grid point, so sample
+        # the `trials` unique streams once and fan them out by row.
+        total = plane.trials.total_tokens
+        fan = np.tile(np.arange(trials), len(grid))
+        score_u = plane.trials.score(
+            np.stack(
+                [
+                    dist_u.sample(total, ensure_rng(base_seed + t))
+                    for t in range(trials)
+                ]
+            )[fan]
+        )
+        score_f = plane.trials.score(
+            np.stack(
+                [
+                    dist_far.sample(total, ensure_rng(base_seed + t))
+                    for t in range(trials)
+                ]
+            )[fan]
+        )
+        fast_share = (time.perf_counter() - fast_start) / len(grid)
+
     points = []
-    for drop in drop_probs:
-        for frac in crash_fractions:
-            err_u = err_f = no_verdict = 0
-            rounds = drops = missing = shortfall = unheard = 0.0
-            agreement = 0.0
-            crashed_nodes = int(frac * (k - 1))
-            replayable = fast_path and drop == 0.0 and crashed_nodes == 0
-            if replayable:
-                if replay_runner is None:
-                    replay_runner = HardenedTrialRunner.build(
-                        tester, topo, faults=FaultPlan.none(), d_hint=d_hint
-                    )
-                seeds = [base_seed + t for t in range(trials)]
-                fast_u = replay_runner.verdicts_for_seeds(dist_u, seeds)
-                fast_f = replay_runner.verdicts_for_seeds(dist_far, seeds)
-                err_u = sum(v is not True for v in fast_u)
-                err_f = sum(v is not False for v in fast_f)
-                no_verdict = sum(v is None for v in fast_u) + sum(
-                    v is None for v in fast_f
+    for index, (drop, frac) in enumerate(grid):
+        err_u = err_f = no_verdict = 0
+        rounds = drops = missing = shortfall = unheard = 0.0
+        agreement = 0.0
+        crashed_nodes = int(frac * (k - 1))
+        if fast_path:
+            rows = slice(index * trials, (index + 1) * trials)
+            verdicts_u = score_u.verdicts[rows]
+            verdicts_f = score_f.verdicts[rows]
+            err_u = sum(v is not True for v in verdicts_u)
+            err_f = sum(v is not False for v in verdicts_f)
+            no_verdict = sum(v is None for v in verdicts_u) + sum(
+                v is None for v in verdicts_f
+            )
+            # Sample-independent counters are shared by the uniform and
+            # far runs of a trial, so the per-run mean is the per-trial
+            # mean; agreement is sample-dependent and averages both.
+            missing = 2.0 * float(plane.trials.missing_subtrees[rows].sum())
+            shortfall = 2.0 * float(plane.trials.shortfall[rows].sum())
+            unheard = 2.0 * float(plane.trials.unheard[rows].sum())
+            agreement = float(
+                score_u.agreement[rows].sum() + score_f.agreement[rows].sum()
+            )
+            engine_trials = (
+                min(trials, max(1, int(round(engine_check * trials))))
+                if engine_check > 0
+                else 0
+            )
+        else:
+            engine_trials = trials
+        engine_start = time.perf_counter()
+        for t in range(engine_trials):
+            plan = point_plan(drop, frac, t)
+            res_u = tester.run(topo, dist_u, rng=base_seed + t, faults=plan)
+            res_f = tester.run(topo, dist_far, rng=base_seed + t, faults=plan)
+            if fast_path:
+                row = index * trials + t
+                plane.trials.check_against_engine(
+                    row, res_u, score_u.verdicts[row],
+                    float(score_u.agreement[row]),
                 )
-                engine_trials = min(
-                    trials, max(1, int(round(engine_check * trials)))
+                plane.trials.check_against_engine(
+                    row, res_f, score_f.verdicts[row],
+                    float(score_f.agreement[row]),
                 )
             else:
-                fast_u = fast_f = []
-                engine_trials = trials
-            for t in range(engine_trials):
-                plan = FaultPlan(
-                    seed=base_seed * 1_000_003 + t,
-                    drop_prob=drop,
-                    crashes=_crash_plan(
-                        k, frac, schedule.count_end, base_seed, t
-                    ),
+                err_u += res_u.verdict is not True
+                err_f += res_f.verdict is not False
+                no_verdict += (res_u.verdict is None) + (
+                    res_f.verdict is None
                 )
-                res_u = tester.run(topo, dist_u, rng=base_seed + t, faults=plan)
-                res_f = tester.run(
-                    topo, dist_far, rng=base_seed + t, faults=plan
-                )
-                if replayable:
-                    if (res_u.verdict, res_f.verdict) != (
-                        fast_u[t],
-                        fast_f[t],
-                    ):
-                        raise SimulationError(
-                            f"trial-plane verdicts diverge from the engine "
-                            f"at fault-free trial {t}: engine "
-                            f"({res_u.verdict}, {res_f.verdict}) vs replay "
-                            f"({fast_u[t]}, {fast_f[t]})"
-                        )
-                else:
-                    err_u += res_u.verdict is not True
-                    err_f += res_f.verdict is not False
-                    no_verdict += (res_u.verdict is None) + (
-                        res_f.verdict is None
-                    )
-                rounds += res_u.report.rounds + res_f.report.rounds
-                drops += res_u.report.drops + res_f.report.drops
                 missing += res_u.missing_subtrees + res_f.missing_subtrees
                 shortfall += res_u.shortfall + res_f.shortfall
                 unheard += res_u.unheard + res_f.unheard
                 agreement += res_u.agreement + res_f.agreement
-            runs = 2 * engine_trials
-            points.append(
-                RobustnessPoint(
-                    topology=topology,
-                    drop_prob=float(drop),
-                    crash_fraction=float(frac),
-                    crashed_nodes=crashed_nodes,
-                    trials=trials,
-                    error_uniform=err_u / trials,
-                    error_far=err_f / trials,
-                    no_verdict=no_verdict,
-                    mean_rounds=rounds / runs,
-                    mean_drops=drops / runs,
-                    mean_missing_subtrees=missing / runs,
-                    mean_shortfall=shortfall / runs,
-                    mean_unheard=unheard / runs,
-                    mean_agreement=agreement / runs,
-                )
+            rounds += res_u.report.rounds + res_f.report.rounds
+            drops += res_u.report.drops + res_f.report.drops
+        engine_seconds = time.perf_counter() - engine_start
+        counter_runs = 2 * (trials if fast_path else engine_trials)
+        engine_runs = 2 * engine_trials
+        points.append(
+            RobustnessPoint(
+                topology=topology,
+                drop_prob=float(drop),
+                crash_fraction=float(frac),
+                crashed_nodes=crashed_nodes,
+                trials=trials,
+                error_uniform=err_u / trials,
+                error_far=err_f / trials,
+                no_verdict=no_verdict,
+                mean_rounds=rounds / engine_runs if engine_runs else 0.0,
+                mean_drops=drops / engine_runs if engine_runs else 0.0,
+                mean_missing_subtrees=missing / counter_runs,
+                mean_shortfall=shortfall / counter_runs,
+                mean_unheard=unheard / counter_runs,
+                mean_agreement=agreement / counter_runs,
+                engine_trials=engine_trials,
+                fast_path_seconds=fast_share,
+                engine_seconds=engine_seconds,
             )
+        )
     return tuple(points)

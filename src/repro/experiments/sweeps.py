@@ -27,8 +27,20 @@ def geometric_grid(start: float, stop: float, points: int) -> List[float]:
 
 
 def geometric_int_grid(start: int, stop: int, points: int) -> List[int]:
-    """Geometric grid of distinct integers (deduplicated, sorted)."""
+    """Geometric grid of distinct integers (deduplicated, sorted).
+
+    Guarantees at least two distinct values — a degenerate span
+    (``start == stop``, or endpoints that round to the same integer)
+    raises :class:`ParameterError` rather than collapsing to a single
+    point, which would crash :func:`loglog_slope` downstream.
+    """
     values = sorted({int(round(v)) for v in geometric_grid(start, stop, points)})
+    if len(values) < 2:
+        raise ParameterError(
+            f"geometric int grid [{start}, {stop}] collapses to "
+            f"{values}: need a span wide enough for >= 2 distinct "
+            f"integers"
+        )
     return values
 
 

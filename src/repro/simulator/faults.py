@@ -35,6 +35,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.exceptions import ParameterError
 
 _MASK64 = (1 << 64) - 1
@@ -65,6 +67,80 @@ def _uniform(seed: int, src: int, dst: int, round_: int, index: int, salt: int) 
     acc = _mix64(acc + ((round_ + 1) * _GOLDEN & _MASK64))
     acc = _mix64(acc + ((index + 1) * _GOLDEN & _MASK64))
     return (acc >> 11) / float(1 << 53)
+
+
+_U64 = np.uint64
+
+
+def mix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_mix64`: the SplitMix64 finaliser over uint64
+    arrays, bit-identical per element to the scalar kernel (numpy uint64
+    arithmetic wraps mod 2^64 exactly like the masked Python ints)."""
+    x = np.asarray(x, dtype=np.uint64)
+    with np.errstate(over="ignore"):  # mod-2^64 wrap is the algorithm
+        x = x ^ (x >> _U64(30))
+        x = x * _U64(_MIX1)
+        x = x ^ (x >> _U64(27))
+        x = x * _U64(_MIX2)
+        x = x ^ (x >> _U64(31))
+    return x
+
+
+def uniform_array(
+    seed: "int | np.ndarray",
+    src: "int | np.ndarray",
+    dst: "int | np.ndarray",
+    round_: "int | np.ndarray",
+    index: "int | np.ndarray",
+    salt: int,
+) -> np.ndarray:
+    """Vectorized :func:`_uniform`: keyed uniforms over broadcast arrays.
+
+    Each output element equals ``_uniform(seed, src, dst, round, index,
+    salt)`` at the broadcast position bit for bit — the mantissa path
+    ``(acc >> 11) / 2^53`` is exact in float64 — so a whole trial
+    batch's drop/delay decisions come from one vectorized pass.
+    """
+    if isinstance(seed, int):
+        seed = seed & _MASK64
+    acc = mix64_array(np.asarray(seed, dtype=np.uint64) ^ _U64(salt))
+    tmp: Optional[np.ndarray] = None
+    with np.errstate(over="ignore"):  # mod-2^64 wrap is the algorithm
+        for part in (src, dst, round_, index):
+            word = (np.asarray(part).astype(np.uint64) + _U64(1)) * _U64(_GOLDEN)
+            # `acc` is a private accumulator, so once it has reached the
+            # full broadcast shape the finaliser runs in place — same
+            # arithmetic as mix64_array, minus the temporaries (this is
+            # the hot path of whole-sweep drop draws).
+            if (
+                acc.shape != ()
+                and np.broadcast_shapes(acc.shape, word.shape) == acc.shape
+            ):
+                np.add(acc, word, out=acc)
+            else:
+                acc = acc + word
+                tmp = None
+            if acc.shape == ():
+                acc = mix64_array(acc)
+                continue
+            if tmp is None:
+                tmp = np.empty_like(acc)
+            np.right_shift(acc, _U64(30), out=tmp)
+            np.bitwise_xor(acc, tmp, out=acc)
+            np.multiply(acc, _U64(_MIX1), out=acc)
+            np.right_shift(acc, _U64(27), out=tmp)
+            np.bitwise_xor(acc, tmp, out=acc)
+            np.multiply(acc, _U64(_MIX2), out=acc)
+            np.right_shift(acc, _U64(31), out=tmp)
+            np.bitwise_xor(acc, tmp, out=acc)
+        if isinstance(acc, np.ndarray) and acc.shape != ():
+            np.right_shift(acc, _U64(11), out=acc)
+            out = acc.astype(np.float64)
+            # Dividing by 2^53 only shifts the exponent — exact,
+            # bit-identical to the scalar kernel's `/ float(1 << 53)`.
+            np.multiply(out, 2.0 ** -53, out=out)
+            return out
+        return (acc >> _U64(11)).astype(np.float64) / float(1 << 53)
 
 
 @dataclass(frozen=True)
@@ -104,6 +180,22 @@ class DelayDistribution:
             if u < acc:
                 return delay
         return 0
+
+    def sample_array(self, u: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`sample`, bit-identical per element.
+
+        ``np.cumsum`` accumulates the outcome probabilities in the same
+        sequential order (and rounding) as the scalar loop, and
+        ``side='right'`` reproduces its strict ``u < acc`` comparison.
+        """
+        u = np.asarray(u, dtype=np.float64)
+        if not self.outcomes:
+            return np.zeros(u.shape, dtype=np.int64)
+        delays = np.array(
+            [d for d, _ in self.outcomes] + [0], dtype=np.int64
+        )
+        cdf = np.cumsum([p for _, p in self.outcomes])
+        return delays[np.searchsorted(cdf, u, side="right")]
 
 
 @dataclass(frozen=True)
@@ -184,6 +276,53 @@ class FaultPlan:
         return self.delay.sample(
             _uniform(self.seed, src, dst, round_, index, _SALT_DELAY)
         )
+
+    # -- vectorized counterparts (used by the CONGEST fault plane) ---------
+
+    def drop_probability_array(
+        self, src: np.ndarray, dst: np.ndarray
+    ) -> np.ndarray:
+        """Broadcast :meth:`drop_probability` over directed-edge arrays."""
+        src = np.asarray(src)
+        dst = np.asarray(dst)
+        prob = np.full(np.broadcast(src, dst).shape, float(self.drop_prob))
+        for (s, d), p in self.edge_drop.items():
+            prob[(src == s) & (dst == d)] = float(p)
+        return prob
+
+    def drop_flags(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        round_: "int | np.ndarray",
+        index: "int | np.ndarray" = 0,
+    ) -> np.ndarray:
+        """Vectorized :meth:`should_drop` over broadcast key arrays.
+
+        Bit-identical per element: the keyed uniform comes from
+        :func:`uniform_array` and the ``prob <= 0`` short-circuit is
+        reproduced as a mask, so a zero-probability edge never consults
+        its draw (exactly like the scalar early return).
+        """
+        prob = self.drop_probability_array(src, dst)
+        u = uniform_array(self.seed, src, dst, round_, index, _SALT_DROP)
+        return (prob > 0.0) & (u < prob)
+
+    def delay_rounds_array(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        round_: "int | np.ndarray",
+        index: "int | np.ndarray" = 0,
+    ) -> np.ndarray:
+        """Vectorized :meth:`delay_rounds` over broadcast key arrays."""
+        if self.delay is None or not self.delay.outcomes:
+            shape = np.broadcast(
+                np.asarray(src), np.asarray(dst), np.asarray(round_)
+            ).shape
+            return np.zeros(shape, dtype=np.int64)
+        u = uniform_array(self.seed, src, dst, round_, index, _SALT_DELAY)
+        return self.delay.sample_array(u)
 
     def crash_schedule(self) -> Dict[int, Tuple[int, ...]]:
         """The crash schedule grouped by round: ``round -> (nodes...)``."""

@@ -30,6 +30,17 @@ class TestGrids:
         with pytest.raises(ParameterError):
             geometric_grid(1.0, 10.0, 1)
 
+    def test_int_grid_degenerate_span_rejected(self):
+        with pytest.raises(ParameterError, match="collapses"):
+            geometric_int_grid(7, 7, 5)
+
+    def test_int_grid_narrow_span_keeps_two_points(self):
+        assert geometric_int_grid(9, 10, 12) == [9, 10]
+        # Two distinct points always survive -> loglog_slope accepts it.
+        grid = geometric_int_grid(1, 2, 3)
+        slope, _ = loglog_slope(grid, [g**2.0 for g in grid])
+        assert slope == pytest.approx(2.0)
+
 
 class TestLogLogSlope:
     def test_recovers_power_law(self):

@@ -1,0 +1,133 @@
+"""Scalar-parity tests for the vectorized fault RNG kernels.
+
+The fault plane's whole-batch drop/delay draws are only sound if every
+element of :func:`repro.simulator.faults.uniform_array` equals the
+scalar :func:`~repro.simulator.faults._uniform` bit for bit — these
+tests pin that contract across random key grids, broadcasting shapes,
+and the 64-bit wrap/edge keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.faults import (
+    _SALT_DELAY,
+    _SALT_DROP,
+    DelayDistribution,
+    FaultPlan,
+    _mix64,
+    _uniform,
+    mix64_array,
+    uniform_array,
+)
+
+RNG = np.random.default_rng(0xFA117)
+
+
+class TestMix64Parity:
+    def test_random_words_match_scalar(self):
+        words = RNG.integers(0, 2**64, size=512, dtype=np.uint64)
+        vec = mix64_array(words)
+        for w, v in zip(words.tolist(), vec.tolist()):
+            assert v == _mix64(w)
+
+    def test_edge_words(self):
+        words = np.array(
+            [0, 1, 2**63, 2**64 - 1, 0x9E3779B97F4A7C15], dtype=np.uint64
+        )
+        assert mix64_array(words).tolist() == [_mix64(int(w)) for w in words]
+
+
+class TestUniformArrayParity:
+    def test_random_key_grid_matches_scalar(self):
+        n = 256
+        seeds = RNG.integers(0, 2**63, size=n)
+        srcs = RNG.integers(0, 10_000, size=n)
+        dsts = RNG.integers(0, 10_000, size=n)
+        rounds = RNG.integers(0, 100_000, size=n)
+        indexes = RNG.integers(0, 64, size=n)
+        for salt in (_SALT_DROP, _SALT_DELAY):
+            vec = uniform_array(seeds, srcs, dsts, rounds, indexes, salt)
+            for i in range(n):
+                scalar = _uniform(
+                    int(seeds[i]), int(srcs[i]), int(dsts[i]),
+                    int(rounds[i]), int(indexes[i]), salt,
+                )
+                assert vec[i] == scalar  # bit-identical floats
+
+    def test_broadcasting_matches_elementwise(self):
+        """The fault plane's natural call shape: one seed column per
+        trial broadcast against an edge row and a round axis."""
+        seeds = np.array([3, 7, 123456789])[:, None, None]
+        srcs = np.arange(4)[None, :, None]
+        rounds = np.arange(1, 6)[None, None, :]
+        vec = uniform_array(seeds, srcs, srcs + 1, rounds, 0, _SALT_DROP)
+        assert vec.shape == (3, 4, 5)
+        for t in range(3):
+            for e in range(4):
+                for r in range(5):
+                    assert vec[t, e, r] == _uniform(
+                        int(seeds[t, 0, 0]), e, e + 1, r + 1, 0, _SALT_DROP
+                    )
+
+    def test_scalar_inputs_return_scalar_value(self):
+        vec = uniform_array(42, 1, 2, 3, 0, _SALT_DROP)
+        assert float(vec) == _uniform(42, 1, 2, 3, 0, _SALT_DROP)
+
+    def test_unit_interval(self):
+        seeds = RNG.integers(0, 2**63, size=1000)
+        u = uniform_array(seeds, 0, 1, 1, 0, _SALT_DROP)
+        assert ((0.0 <= u) & (u < 1.0)).all()
+
+
+class TestDelaySampleParity:
+    def test_sample_array_matches_scalar_cdf_walk(self):
+        delay = DelayDistribution(outcomes=((1, 0.25), (3, 0.25), (7, 0.2)))
+        u = RNG.random(2048)
+        vec = delay.sample_array(u)
+        for ui, vi in zip(u.tolist(), vec.tolist()):
+            assert vi == delay.sample(ui)
+
+    def test_boundary_uniforms(self):
+        delay = DelayDistribution(outcomes=((2, 0.5), (5, 0.5)))
+        u = np.array([0.0, 0.5 - 1e-16, 0.5, 1.0 - 1e-16])
+        assert delay.sample_array(u).tolist() == [
+            delay.sample(x) for x in u.tolist()
+        ]
+
+
+class TestFaultPlanArrayParity:
+    @pytest.mark.parametrize("drop_prob", [0.0, 0.05, 0.5])
+    def test_drop_flags_match_should_drop(self, drop_prob):
+        plan = FaultPlan(
+            seed=97, drop_prob=drop_prob, edge_drop={(2, 3): 0.9, (4, 0): 0.0}
+        )
+        src = RNG.integers(0, 6, size=400)
+        dst = RNG.integers(0, 6, size=400)
+        rounds = RNG.integers(1, 50, size=400)
+        flags = plan.drop_flags(src, dst, rounds)
+        for i in range(400):
+            assert flags[i] == plan.should_drop(
+                int(src[i]), int(dst[i]), int(rounds[i])
+            )
+
+    def test_delay_rounds_array_matches_scalar(self):
+        plan = FaultPlan(
+            seed=11,
+            delay=DelayDistribution(outcomes=((1, 0.3), (4, 0.3))),
+        )
+        src = RNG.integers(0, 5, size=300)
+        dst = RNG.integers(0, 5, size=300)
+        rounds = RNG.integers(1, 40, size=300)
+        vec = plan.delay_rounds_array(src, dst, rounds)
+        for i in range(300):
+            assert vec[i] == plan.delay_rounds(
+                int(src[i]), int(dst[i]), int(rounds[i])
+            )
+
+    def test_no_delay_plan_returns_zeros(self):
+        plan = FaultPlan(seed=11, drop_prob=0.1)
+        vec = plan.delay_rounds_array(np.arange(3), np.arange(3), 1)
+        assert vec.dtype == np.int64 and not vec.any()

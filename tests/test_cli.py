@@ -120,6 +120,46 @@ class TestOtherCommands:
             main(["solve-congest", "--n", "200", "--k", "60",
                   "--trials", "2", "--fast-path", "--engine"])
 
+    def test_robustness_fast_path(self, capsys):
+        code = main(
+            ["robustness", "--n", "200", "--k", "60",
+             "--samples-per-node", "64", "--trials", "2",
+             "--drop-probs", "0.0", "0.05", "--seed", "2018"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[fault plane]" in out
+        assert "err(unif)" in out and "engine trials" in out
+
+    def test_robustness_engine_route(self, capsys):
+        code = main(
+            ["robustness", "--n", "200", "--k", "60",
+             "--samples-per-node", "64", "--trials", "1",
+             "--drop-probs", "0.0", "--engine"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[engine]" in out
+
+    def test_robustness_validation_exits_2(self, capsys):
+        base = ["robustness", "--n", "200", "--k", "60",
+                "--samples-per-node", "64"]
+        for extra, needle in (
+            (["--trials", "0"], "--trials must be a positive"),
+            (["--engine-check", "1.5"], "--engine-check must be in [0, 1]"),
+            (["--drop-probs", "1.5"], "--drop-probs entries"),
+            (["--crash-fractions", "1.0"], "--crash-fractions entries"),
+        ):
+            code = main(base + extra)
+            err = capsys.readouterr().err
+            assert code == 2
+            assert "error:" in err and needle in err
+
+    def test_robustness_fast_path_engine_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["robustness", "--n", "200", "--k", "60",
+                  "--trials", "2", "--fast-path", "--engine"])
+
     def test_demo(self, capsys):
         code = main(["demo", "--n", "20000", "--k", "10000", "--eps", "1.0"])
         out = capsys.readouterr().out

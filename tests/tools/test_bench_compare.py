@@ -118,10 +118,12 @@ class TestCli:
             [sys.executable, str(ROOT / "tools" / "bench_compare.py"),
              "--committed-trials", str(committed_path),
              "--fresh-trials", str(fresh_path),
-             # Point the protocol pair at a nonexistent committed file so
+             # Point the other pairs at a nonexistent committed file so
              # only the synthetic pair is compared (and nothing reruns).
              "--committed-protocol", str(missing),
              "--fresh-protocol", str(missing),
+             "--committed-robustness", str(missing),
+             "--fresh-robustness", str(missing),
              *extra],
             capture_output=True,
             text=True,
@@ -155,3 +157,61 @@ class TestCli:
             extra=("--tolerance", "1.5"),
         )
         assert result.returncode == 0, result.stdout
+
+
+class TestRobustnessIngestion:
+    """The gate understands the ``bench_robustness/v2`` point layout."""
+
+    @staticmethod
+    def _point(trials, fast_seconds, engine_trials, engine_seconds):
+        return {
+            "trials": trials,
+            "fast": {
+                "trials": trials,
+                "replay_seconds": fast_seconds,
+                "ms_per_trial": 1000.0 * fast_seconds / trials,
+            },
+            "engine": {
+                "trials": engine_trials,
+                "runs_seconds": engine_seconds,
+                "ms_per_trial": 1000.0 * engine_seconds / engine_trials,
+            },
+        }
+
+    def test_route_timings_scale_by_their_own_trials(self):
+        payload = {
+            "schema": "bench_robustness/v2",
+            "points": {"star": {"d0.05_c0.00": self._point(25, 0.05, 5, 1.0)}},
+        }
+        fields = bench_compare.collect_seconds(payload)
+        # The replay amortises over all 25 trials, the engine route over
+        # its 5-trial cross-check subset.
+        assert fields[
+            "points.star.d0.05_c0.00.fast.replay_seconds"
+        ] == (0.05, 25.0)
+        assert fields[
+            "points.star.d0.05_c0.00.engine.runs_seconds"
+        ] == (1.0, 5.0)
+
+    def test_full_vs_smoke_trial_counts_compare_clean(self):
+        committed = {
+            "points": {"star": {"d0.05_c0.00": self._point(25, 0.05, 5, 1.0)}}
+        }
+        fresh = {  # smoke: 2 trials, 1 engine-checked — same per-trial cost
+            "points": {"star": {"d0.05_c0.00": self._point(2, 0.004, 1, 0.2)}}
+        }
+        rows, regressions = bench_compare.compare_payloads(
+            committed, fresh, tolerance=0.30
+        )
+        assert len(rows) == 2 and not regressions
+        assert all(r["ratio"] == pytest.approx(1.0) for r in rows)
+
+    def test_committed_robustness_payload_ingests(self):
+        committed = ROOT / "BENCH_robustness.json"
+        fields = bench_compare.collect_seconds(
+            json.loads(committed.read_text())
+        )
+        replay_fields = [p for p in fields if p.endswith("replay_seconds")]
+        engine_fields = [p for p in fields if p.endswith("runs_seconds")]
+        assert len(replay_fields) == 24  # 3 topologies x 8 grid points
+        assert len(engine_fields) == 24

@@ -1,9 +1,11 @@
 """Smoke-test the robustness benchmark end to end.
 
 Runs ``tools/bench_robustness.py --smoke`` as a subprocess (the way CI
-invokes it) and checks the JSON contract: the run succeeds, every
-topology is swept, and the graceful-degradation guarantee holds at the
-low-loss grid points (no lost verdicts, unanimous agreement).
+invokes it) and checks the v2 JSON contract: the run succeeds, every
+topology is swept through the fault plane with the engine cross-check,
+per-point route timings are recorded, and the graceful-degradation
+guarantee holds at the low-loss grid points (no lost verdicts,
+unanimous agreement).
 """
 
 from __future__ import annotations
@@ -28,22 +30,35 @@ def test_smoke_run_writes_valid_report(tmp_path):
     assert result.returncode == 0, result.stderr
 
     payload = json.loads(out.read_text())
-    assert payload["schema"] == "bench_robustness/v1"
+    assert payload["schema"] == "bench_robustness/v2"
     assert payload["smoke"] is True
     assert set(payload["points"]) == {"star", "ring", "grid"}
     for topology, points in payload["points"].items():
         assert points, topology
-        for pt in points:
+        for label, pt in points.items():
+            assert label == (
+                f"d{pt['drop_prob']:.2f}_c{pt['crash_fraction']:.2f}"
+            )
             assert pt["trials"] >= 1
+            # Both routes record their per-trial cost for the perf
+            # trajectory; the engine subset is what the cross-check ran.
+            assert pt["fast"]["trials"] == pt["trials"]
+            assert pt["fast"]["ms_per_trial"] > 0.0
+            assert 1 <= pt["engine"]["trials"] <= pt["trials"]
+            assert pt["engine"]["ms_per_trial"] > 0.0
             # Far-side detection is robust at every swept fault rate.
             assert pt["error_far"] == 0.0, (topology, pt)
             if pt["crash_fraction"] == 0.0 and pt["drop_prob"] <= 0.05:
                 assert pt["no_verdict"] == 0, (topology, pt)
                 assert pt["mean_agreement"] == 1.0, (topology, pt)
         # The fault-free point really is fault-free.
-        base = next(
-            pt for pt in points
-            if pt["drop_prob"] == 0.0 and pt["crash_fraction"] == 0.0
-        )
+        base = points["d0.00_c0.00"]
         assert base["mean_drops"] == 0.0
         assert base["mean_missing_subtrees"] == 0.0
+
+    # The headline claim: replay beat the engine on the faulty points
+    # and earned bit_identical by passing every cross-check.
+    summary = payload["fault_plane"]
+    assert summary["bit_identical"] is True
+    assert summary["faulty_points"] >= 1
+    assert summary["speedup"] > 1.0

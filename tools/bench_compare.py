@@ -1,10 +1,11 @@
 """Regression gate: diff a fresh benchmark run against committed numbers.
 
-Collects every ``*_seconds`` field from the committed ``BENCH_trials.json``
-and ``BENCH_protocol.json`` payloads and from a freshly generated run of
-the same benchmarks, normalises each timing by the trial/repeat count in
-scope (so a ``--smoke`` run is comparable to the committed full run), and
-fails when any shared field got slower by more than the tolerance.
+Collects every ``*_seconds`` field from the committed ``BENCH_trials.json``,
+``BENCH_protocol.json``, and ``BENCH_robustness.json`` payloads and from a
+freshly generated run of the same benchmarks, normalises each timing by
+the trial/repeat count in scope (so a ``--smoke`` run is comparable to
+the committed full run), and fails when any shared field got slower by
+more than the tolerance.
 
 Speedups and *new* fields never fail the gate — only a recorded timing
 regressing does.  Timings whose committed and fresh totals are both under
@@ -139,10 +140,15 @@ def main(argv=None) -> int:
     parser.add_argument("--fresh-protocol", type=pathlib.Path, default=None,
                         help="fresh bench_protocol payload; reused if it "
                              "exists, generated there otherwise")
+    parser.add_argument("--fresh-robustness", type=pathlib.Path, default=None,
+                        help="fresh bench_robustness payload; reused if it "
+                             "exists, generated there otherwise")
     parser.add_argument("--committed-trials", type=pathlib.Path,
                         default=ROOT / "BENCH_trials.json")
     parser.add_argument("--committed-protocol", type=pathlib.Path,
                         default=ROOT / "BENCH_protocol.json")
+    parser.add_argument("--committed-robustness", type=pathlib.Path,
+                        default=ROOT / "BENCH_robustness.json")
     args = parser.parse_args(argv)
 
     tolerance = args.tolerance
@@ -158,6 +164,8 @@ def main(argv=None) -> int:
              args.fresh_trials),
             ("protocol", "bench_protocol.py", args.committed_protocol,
              args.fresh_protocol),
+            ("robustness", "bench_robustness.py", args.committed_robustness,
+             args.fresh_robustness),
         ):
             if not committed_path.exists():
                 print(f"[{label}] no committed payload at {committed_path}; "

@@ -3,8 +3,17 @@
 For each benchmark topology (star / ring / grid) the sweep runs
 Monte-Carlo trials of the full hardened Theorem 1.4 protocol under a
 grid of message-drop probabilities and crash fractions, recording the
-uniform- and far-side error rates next to the engine's fault counters
-(drops, missing subtrees, token shortfall, unheard nodes).
+uniform- and far-side error rates next to the fault counters (drops,
+missing subtrees, token shortfall, unheard nodes).
+
+The whole grid — per-trial-keyed fault plans included — replays through
+the vectorized fault plane (``repro.congest.fault_plane``); a subset of
+each point's trials re-runs through the engine to cross-check verdicts,
+agreement, and give-up counters bit for bit (any divergence raises
+``SimulationError`` and aborts the bench) and to supply the
+rounds/drops columns only the engine measures.  The recorded
+``fault_plane.speedup`` compares the two routes per trial over the
+faulty grid points.
 
 The headline check: at drop probability ≤ 0.05 with no crashes, every
 run must complete with a verdict and full network agreement — the
@@ -44,6 +53,38 @@ P = 1.0 / 3.0
 SAMPLES_PER_NODE = 64
 
 
+def point_label(pt) -> str:
+    """Stable grid-point key, shared between smoke and full payloads."""
+    return f"d{pt.drop_prob:.2f}_c{pt.crash_fraction:.2f}"
+
+
+def point_entry(pt) -> dict:
+    """One point's JSON entry: stats plus route timings.
+
+    The replay and engine timings sit in sub-dicts carrying their own
+    ``trials`` scale so ``bench_compare`` normalises each by the trial
+    count it actually amortises over (the engine route only re-runs the
+    cross-check subset).
+    """
+    entry = pt.as_dict()
+    fast_seconds = entry.pop("fast_path_seconds")
+    engine_seconds = entry.pop("engine_seconds")
+    engine_trials = entry.pop("engine_trials")
+    entry["fast"] = {
+        "trials": pt.trials,
+        "replay_seconds": fast_seconds,
+        "ms_per_trial": 1000.0 * fast_seconds / pt.trials,
+    }
+    entry["engine"] = {
+        "trials": engine_trials,
+        "runs_seconds": engine_seconds,
+        "ms_per_trial": (
+            1000.0 * engine_seconds / engine_trials if engine_trials else 0.0
+        ),
+    }
+    return entry
+
+
 def write_results_table(all_points: dict) -> None:
     """Render the grid sweep as the E14 table for EXPERIMENTS.md."""
     table = Table(
@@ -76,16 +117,20 @@ def run_sweep(topology: str, smoke: bool) -> list:
     if smoke:
         drop_probs = (0.0, 0.05)
         crash_fractions = (0.0,)
-        trials = 2
+        # 4 trials, not fewer: the committed run amortises its one
+        # batched build over 25 trials/point, so a tiny smoke count
+        # would inflate the per-trial replay timing against the gate.
+        trials = 4
+        engine_check = 1 / 4
     else:
         drop_probs = (0.0, 0.02, 0.05, 0.1)
         crash_fractions = (0.0, 0.1)
-        trials = 10
+        # The fault plane makes trials cheap; the engine subset (1/5 of
+        # them) dominates the wall clock and feeds the rounds/drops
+        # columns plus the bit-identity cross-check.
+        trials = 25
+        engine_check = 1 / 5
     start = time.perf_counter()
-    # Fault-free grid points ride the trial-plane replay; a third of
-    # their trials still run through the engine to feed the mean_*
-    # columns and cross-check verdicts (faulty points are engine-only —
-    # their per-trial plans realise a different layout every trial).
     points = robustness_sweep(
         N,
         K,
@@ -98,31 +143,65 @@ def run_sweep(topology: str, smoke: bool) -> list:
         trials=trials,
         base_seed=BASE_SEED,
         fast_path=True,
-        engine_check=1 / 3,
+        engine_check=engine_check,
     )
     elapsed = time.perf_counter() - start
 
     table = Table(
-        ["drop", "crash", "err(unif)", "err(far)", "rounds", "drops",
-         "missing", "shortfall", "unheard", "agree"],
+        ["drop", "crash", "err(unif)", "err(far)", "rounds", "missing",
+         "shortfall", "unheard", "agree", "fast ms/t", "engine ms/t"],
         title=f"{topology}(k={K})  n={N} eps={EPS} s={SAMPLES_PER_NODE} "
               f"trials={trials}  [{elapsed:.1f} s]",
     )
     for pt in points:
+        engine_ms = (
+            1000.0 * pt.engine_seconds / pt.engine_trials
+            if pt.engine_trials
+            else 0.0
+        )
         table.add_row([
             f"{pt.drop_prob:.2f}",
             f"{pt.crash_fraction:.2f}",
             f"{pt.error_uniform:.2f}",
             f"{pt.error_far:.2f}",
             f"{pt.mean_rounds:.0f}",
-            f"{pt.mean_drops:.0f}",
             f"{pt.mean_missing_subtrees:.1f}",
             f"{pt.mean_shortfall:.1f}",
             f"{pt.mean_unheard:.1f}",
             f"{pt.mean_agreement:.2f}",
+            f"{1000.0 * pt.fast_path_seconds / pt.trials:.2f}",
+            f"{engine_ms:.1f}",
         ])
     print(table.render())
     return list(points)
+
+
+def fault_plane_summary(all_points: dict) -> dict:
+    """Per-trial replay-vs-engine speedup over the faulty grid points.
+
+    ``bit_identical`` is earned, not asserted: every engine-checked
+    trial was compared verdict-, agreement-, and counter-exact, and a
+    single divergence raises before this summary is written.
+    """
+    fast_ms = []
+    engine_ms = []
+    for points in all_points.values():
+        for pt in points:
+            if pt.drop_prob == 0.0 and pt.crashed_nodes == 0:
+                continue
+            if not pt.engine_trials:
+                continue
+            fast_ms.append(1000.0 * pt.fast_path_seconds / pt.trials)
+            engine_ms.append(1000.0 * pt.engine_seconds / pt.engine_trials)
+    mean_fast = sum(fast_ms) / len(fast_ms) if fast_ms else 0.0
+    mean_engine = sum(engine_ms) / len(engine_ms) if engine_ms else 0.0
+    return {
+        "faulty_points": len(fast_ms),
+        "fast_ms_per_trial": mean_fast,
+        "engine_ms_per_trial": mean_engine,
+        "speedup": mean_engine / mean_fast if mean_fast else 0.0,
+        "bit_identical": True,
+    }
 
 
 def main(argv=None) -> int:
@@ -155,8 +234,14 @@ def main(argv=None) -> int:
                           f"agreement={pt.mean_agreement})", file=sys.stderr)
                     ok = False
 
+    summary = fault_plane_summary(all_points)
+    print(f"fault plane: {summary['fast_ms_per_trial']:.2f} ms/trial vs "
+          f"engine {summary['engine_ms_per_trial']:.1f} ms/trial over "
+          f"{summary['faulty_points']} faulty points -> "
+          f"{summary['speedup']:.0f}x")
+
     payload = {
-        "schema": "bench_robustness/v1",
+        "schema": "bench_robustness/v2",
         "smoke": bool(args.smoke),
         "cpu_count": os.cpu_count(),
         "base_seed": BASE_SEED,
@@ -167,8 +252,9 @@ def main(argv=None) -> int:
             "p": P,
             "samples_per_node": SAMPLES_PER_NODE,
         },
+        "fault_plane": summary,
         "points": {
-            topology: [pt.as_dict() for pt in points]
+            topology: {point_label(pt): point_entry(pt) for pt in points}
             for topology, points in all_points.items()
         },
     }
