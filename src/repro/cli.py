@@ -19,17 +19,23 @@ Commands
     a certified ε-far distribution.
 ``bounds``
     Print every closed-form theorem curve at (n, k, eps).
+``report``
+    Summarize a ``--trace`` JSONL file: run manifest, span tree, hot
+    phases, counter totals.
 
-All commands accept ``--seed`` for reproducibility and print plain-ASCII
-tables (no extra dependencies).
+All commands accept ``--seed`` for reproducibility and ``--trace PATH``
+to write a structured telemetry trace (see ``docs/observability.md``),
+and print plain-ASCII tables (no extra dependencies).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from repro import telemetry
 from repro.core import and_rule_parameters, threshold_parameters
 from repro.core import bounds as bounds_mod
 from repro.core.params import threshold_parameters_exact
@@ -38,6 +44,10 @@ from repro.exceptions import ParameterError, ReproError
 from repro.experiments import Table
 from repro.zeroround import ThresholdNetworkTester
 
+#: Minimum network size each named benchmark topology can be built at
+#: (mirrors the :class:`~repro.simulator.graph.Topology` constructors).
+_TOPOLOGY_MIN_K = {"star": 2, "ring": 3, "grid": 1}
+
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--n", type=int, required=True, help="domain size")
@@ -45,6 +55,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--eps", type=float, default=0.9, help="L1 distance parameter")
     parser.add_argument("--p", type=float, default=1 / 3, help="error budget")
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument("--trace", type=str, default=None, metavar="PATH",
+                        help="write a JSONL telemetry trace (spans, "
+                             "counters, run manifest) to PATH")
 
 
 def _validate_common(args: argparse.Namespace) -> None:
@@ -52,10 +65,24 @@ def _validate_common(args: argparse.Namespace) -> None:
 
     ``eps`` is an L1 distance between distributions, so ``(0, 2]`` is the
     meaningful range; ``p`` is a two-sided error budget, open at both ends
-    (0 demands certainty, 1 permits anything).  Catching these here gives
-    a clear :class:`~repro.exceptions.ParameterError` instead of a
-    downstream math-domain error or a nonsense solve.
+    (0 demands certainty, 1 permits anything).  ``n`` needs at least two
+    elements to have a non-uniform distribution; ``k`` at least one node.
+    Catching these here gives a clear
+    :class:`~repro.exceptions.ParameterError` instead of a downstream
+    numpy or math-domain error deep in a solver.
     """
+    n = getattr(args, "n", None)
+    if n is not None and n < 2:
+        raise ParameterError(
+            f"--n must be >= 2 (a domain with at least two elements), "
+            f"got {n}"
+        )
+    k = getattr(args, "k", None)
+    if k is not None and k < 1:
+        raise ParameterError(
+            f"--k must be >= 1 (a network needs at least one node), "
+            f"got {k}"
+        )
     eps = getattr(args, "eps", None)
     if eps is not None and not 0.0 < eps <= 2.0:
         raise ParameterError(
@@ -66,11 +93,27 @@ def _validate_common(args: argparse.Namespace) -> None:
         raise ParameterError(
             f"--p must be in (0, 1) (an error probability), got {p}"
         )
+    # Topology minima only bind when the command will actually build the
+    # topology: robustness always does, solve-congest only with --trials.
+    topology = getattr(args, "topology", None)
+    if (
+        topology is not None
+        and k is not None
+        and (args.command == "robustness" or getattr(args, "trials", 0))
+    ):
+        minimum = _TOPOLOGY_MIN_K.get(topology, 1)
+        if k < minimum:
+            raise ParameterError(
+                f"--topology {topology} needs k >= {minimum}, got {k}"
+            )
 
 
 def _cmd_solve_threshold(args: argparse.Namespace) -> int:
     solver = threshold_parameters_exact if args.exact else threshold_parameters
     params = solver(args.n, args.k, args.eps, args.p)
+    telemetry.annotate(
+        solved={"samples_per_node": params.s, "threshold": params.threshold}
+    )
     table = Table(["parameter", "value"], title="Theorem 1.2 (threshold rule)")
     table.add_row(["samples per node s", params.s])
     table.add_row(["per-node delta", f"{params.delta:.5g}"])
@@ -116,6 +159,12 @@ def _cmd_solve_congest(args: argparse.Namespace) -> int:
         )
     params = congest_parameters(
         args.n, args.k, args.eps, args.p, args.samples_per_node
+    )
+    telemetry.annotate(
+        solved={
+            "tau": params.tau,
+            "expected_virtual_nodes": params.expected_virtual_nodes,
+        }
     )
     table = Table(["parameter", "value"], title="Theorem 1.4 (CONGEST)")
     table.add_row(["samples per node", params.samples_per_node])
@@ -243,6 +292,28 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    trace = telemetry.load_trace(args.path)
+    print(telemetry.render_report(trace))
+    return 0
+
+
+def _route_for(args: argparse.Namespace) -> str:
+    """The execution route a command will take, for the run manifest."""
+    command = args.command
+    if command == "robustness":
+        return "fault-plane" if args.fast_path else "engine-cold"
+    if command == "solve-congest":
+        if not args.trials:
+            return "solve"
+        return "trial-plane" if args.fast_path else "engine-warm"
+    if command == "demo":
+        return "zero-round"
+    if command == "solve-threshold" and args.trials:
+        return "zero-round"
+    return "solve"
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -319,19 +390,66 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bounds", help="print every closed-form theorem curve")
     _add_common(p)
     p.set_defaults(func=_cmd_bounds)
+
+    p = sub.add_parser(
+        "report",
+        help="summarize a telemetry trace written with --trace",
+    )
+    p.add_argument("path", help="JSONL trace file to summarize")
+    p.set_defaults(func=_cmd_report)
     return parser
+
+
+def _start_trace(
+    args: argparse.Namespace, argv: Optional[List[str]]
+) -> telemetry.Tracer:
+    """Open the ``--trace`` sink and write the run manifest."""
+    tracer = telemetry.activate(telemetry.Tracer(args.trace))
+    parameters = {
+        key: getattr(args, key)
+        for key in ("n", "k", "eps", "p", "samples_per_node", "trials")
+        if getattr(args, key, None) is not None
+    }
+    topology = None
+    if getattr(args, "topology", None) is not None:
+        topology = {"name": args.topology, "k": args.k}
+    tracer.set_manifest(
+        telemetry.RunManifest(
+            command=args.command,
+            route=_route_for(args),
+            seed=getattr(args, "seed", None),
+            argv=tuple(argv if argv is not None else sys.argv[1:]),
+            parameters=parameters,
+            topology=topology,
+        )
+    )
+    return tracer
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    tracer = None
     try:
         _validate_common(args)
+        if getattr(args, "trace", None):
+            tracer = _start_trace(args, argv)
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Report output is made for piping (`repro report ... | head`);
+        # a closed pipe is the reader's choice, not an error.  Detach
+        # stdout so the interpreter's shutdown flush doesn't raise too.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    finally:
+        if tracer is not None:
+            telemetry.deactivate()
+            tracer.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

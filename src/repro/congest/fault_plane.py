@@ -60,6 +60,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.congest.hardened import (
     HardenedCongestTester,
     HardenedRunResult,
@@ -172,6 +173,10 @@ class ReplayedTrials:
         crashed) and ``agreement[t]`` the fraction of surviving nodes
         agreeing with it.
         """
+        with telemetry.span("fault_plane.score", trials=self.trials):
+            return self._score(flat)
+
+    def _score(self, flat: np.ndarray) -> "FaultPlaneScore":
         T, k = self.trials, self.k
         flat = np.asarray(flat)
         if flat.shape != (T, self.total_tokens):
@@ -357,6 +362,21 @@ def replay_hardened_trials(
     cross-checks the vote closure against each fragment root's folded
     package total and raises :class:`SimulationError` on mismatch.
     """
+    with telemetry.span(
+        "fault_plane.replay", trials=len(plans), k=topology.k
+    ) as sp:
+        replayed = _replay_hardened_trials(tester, topology, plans, d_hint)
+        sp.count("packages", int(replayed.members.shape[0]))
+        sp.count("crashed_roots", int((~replayed.root_alive).sum()))
+        return replayed
+
+
+def _replay_hardened_trials(
+    tester: HardenedCongestTester,
+    topology: Topology,
+    plans: Sequence[FaultPlan],
+    d_hint: Optional[int] = None,
+) -> ReplayedTrials:
     if topology.k != tester.params.k:
         raise ParameterError(
             f"tester solved for k={tester.params.k}, topology has "
@@ -393,7 +413,8 @@ def replay_hardened_trials(
                 )
 
     F = sch.flood_end
-    parent, dist = _flood(topology, seeds, crash, prob_edge, F)
+    with telemetry.span("fault_plane.flood", rounds=F, trials=T):
+        parent, dist = _flood(topology, seeds, crash, prob_edge, F)
     par_valid = parent >= 0
     par = np.where(par_valid, parent, np.arange(k)[None, :])
 
@@ -804,9 +825,10 @@ class HardenedFaultPlane:
         plans: Sequence[FaultPlan],
         d_hint: Optional[int] = None,
     ) -> "HardenedFaultPlane":
-        replayed = replay_hardened_trials(
-            tester, topology, plans, d_hint=d_hint
-        )
+        with telemetry.span("fault_plane.build", trials=len(plans)):
+            replayed = replay_hardened_trials(
+                tester, topology, plans, d_hint=d_hint
+            )
         return HardenedFaultPlane(
             tester=tester,
             topology=topology,
@@ -827,7 +849,11 @@ class HardenedFaultPlane:
                 f"{self.trials.trials} plans"
             )
         total = self.trials.total_tokens
-        flat = np.stack(
-            [distribution.sample(total, ensure_rng(sd)) for sd in seeds]
-        )
+        with telemetry.span(
+            "fault_plane.draw", trials=len(seeds)
+        ) as sp:
+            flat = np.stack(
+                [distribution.sample(total, ensure_rng(sd)) for sd in seeds]
+            )
+            sp.count("tokens", total * len(seeds))
         return self.trials.score(flat)

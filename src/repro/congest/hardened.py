@@ -542,6 +542,7 @@ def run_hardened_packaging(
         max_rounds=schedule.tokens_end + 4,
         deadlock_quiet_rounds=max(8, tau + 6),
         faults=faults,
+        phase_names=("flood", "claim_count", "tokens"),
     )
     report = engine.run(
         lambda v: HardenedTokenPackagingProgram(
@@ -895,6 +896,7 @@ CongestUniformityTester`; the execution swaps the quiet-round protocol
             max_rounds=schedule.decide_end + 4,
             deadlock_quiet_rounds=max(8, self.params.tau + 6),
             faults=faults,
+            phase_names=("flood", "claim_count", "tokens", "vote_decide"),
         )
 
         def factory(v: int) -> HardenedCongestTesterProgram:

@@ -420,6 +420,14 @@ class CongestUniformityTester:
             max_rounds=50 * (topology.diameter_upper_bound() + self.params.tau + 10),
             deadlock_quiet_rounds=self.params.tau + 6,
             faults=faults,
+            # Telemetry phase labels, one per quiet-separated segment:
+            # the CLAIM/COUNT convergecasts share a segment, as do
+            # VOTE/DECIDE (no globally-quiet round between them).
+            phase_names=(
+                ("tokens", "vote_decide")
+                if warm_start
+                else ("flood", "claim_count", "tokens", "vote_decide")
+            ),
         )
         views = (
             warm_start_views(topology, self.params.tau, s) if warm_start else None

@@ -382,6 +382,11 @@ def run_token_packaging(
         max_rounds=10 * (topology.diameter_upper_bound() + tau + 10),
         deadlock_quiet_rounds=tau + 6,
         faults=faults,
+        phase_names=(
+            ("tokens",)
+            if warm_start
+            else ("flood", "claim_count", "tokens")
+        ),
     )
     views = warm_start_views(topology, tau) if warm_start else None
     report = engine.run(

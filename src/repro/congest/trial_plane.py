@@ -57,6 +57,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.congest.hardened import (
     HardenedCongestTester,
     HardenedRunResult,
@@ -155,60 +156,68 @@ class PackagingLayout:
         cached = schedule.aux.get(key)
         if cached is not None:
             return cached
-        k, s = topology.k, tokens_per_node
-        counts = schedule.token_counts(tau, s)
-        buffers = [deque(range(v * s, (v + 1) * s)) for v in range(k)]
-        sent = [0] * k
-        dropped: List[int] = []
-        arrivals: List[List[int]] = [[] for _ in range(k)]
-        for r in range(tau + 1):
-            for v in range(k):
-                if arrivals[v]:
-                    buffers[v].extend(arrivals[v])
-            next_arrivals: List[List[int]] = [[] for _ in range(k)]
-            if r < tau:
-                for v in range(k):
-                    if sent[v] < counts[v] and buffers[v]:
-                        slot = buffers[v].popleft()
-                        sent[v] += 1
-                        parent = schedule.parent[v]
-                        if parent is None:
-                            dropped.append(slot)
-                        else:
-                            next_arrivals[parent].append(slot)
-            arrivals = next_arrivals
-        member_rows: List[Sequence[int]] = []
-        owners: List[int] = []
-        for v in range(k):
-            if sent[v] != counts[v]:
-                raise SimulationError(
-                    f"layout extraction: node {v} forwarded {sent[v]} of "
-                    f"c(v)={counts[v]} slots in tau={tau} rounds — the "
-                    f"pipelining invariant (Theorem 5.1) failed"
-                )
-            held = list(buffers[v])
-            if len(held) % tau != 0:
-                raise SimulationError(
-                    f"layout extraction: node {v} holds {len(held)} slots, "
-                    f"not a multiple of tau={tau}"
-                )
-            for i in range(0, len(held), tau):
-                member_rows.append(held[i : i + tau])
-                owners.append(v)
-        members = np.asarray(member_rows, dtype=np.int64).reshape(
-            len(member_rows), tau
-        )
-        members.setflags(write=False)
-        package_owner = np.asarray(owners, dtype=np.int64)
-        package_owner.setflags(write=False)
-        layout = PackagingLayout(
-            k=k,
+        with telemetry.span(
+            "trial_plane.layout",
+            k=topology.k,
             tau=tau,
-            tokens_per_node=s,
-            members=members,
-            package_owner=package_owner,
-            dropped=tuple(dropped),
-        )
+            tokens_per_node=tokens_per_node,
+        ) as span:
+            k, s = topology.k, tokens_per_node
+            counts = schedule.token_counts(tau, s)
+            buffers = [deque(range(v * s, (v + 1) * s)) for v in range(k)]
+            sent = [0] * k
+            dropped: List[int] = []
+            arrivals: List[List[int]] = [[] for _ in range(k)]
+            for r in range(tau + 1):
+                for v in range(k):
+                    if arrivals[v]:
+                        buffers[v].extend(arrivals[v])
+                next_arrivals: List[List[int]] = [[] for _ in range(k)]
+                if r < tau:
+                    for v in range(k):
+                        if sent[v] < counts[v] and buffers[v]:
+                            slot = buffers[v].popleft()
+                            sent[v] += 1
+                            parent = schedule.parent[v]
+                            if parent is None:
+                                dropped.append(slot)
+                            else:
+                                next_arrivals[parent].append(slot)
+                arrivals = next_arrivals
+            member_rows: List[Sequence[int]] = []
+            owners: List[int] = []
+            for v in range(k):
+                if sent[v] != counts[v]:
+                    raise SimulationError(
+                        f"layout extraction: node {v} forwarded {sent[v]} of "
+                        f"c(v)={counts[v]} slots in tau={tau} rounds — the "
+                        f"pipelining invariant (Theorem 5.1) failed"
+                    )
+                held = list(buffers[v])
+                if len(held) % tau != 0:
+                    raise SimulationError(
+                        f"layout extraction: node {v} holds {len(held)} slots, "
+                        f"not a multiple of tau={tau}"
+                    )
+                for i in range(0, len(held), tau):
+                    member_rows.append(held[i : i + tau])
+                    owners.append(v)
+            members = np.asarray(member_rows, dtype=np.int64).reshape(
+                len(member_rows), tau
+            )
+            members.setflags(write=False)
+            package_owner = np.asarray(owners, dtype=np.int64)
+            package_owner.setflags(write=False)
+            layout = PackagingLayout(
+                k=k,
+                tau=tau,
+                tokens_per_node=s,
+                members=members,
+                package_owner=package_owner,
+                dropped=tuple(dropped),
+            )
+            span.count("packages", layout.virtual_nodes)
+            span.count("dropped_slots", len(dropped))
         schedule.aux[key] = layout
         return layout
 
@@ -295,11 +304,16 @@ class CongestVerdictKernel:
     is_uniform: bool
 
     def __call__(self, rng: np.random.Generator, count: int) -> np.ndarray:
-        flat = self.distribution.sample(count * self.total_tokens, rng)
-        accepted = _accepts(
-            flat.reshape(count, self.total_tokens), self.members, self.threshold
-        )
-        return accepted != self.is_uniform
+        with telemetry.span("trial_plane.draw", trials=count) as sp:
+            flat = self.distribution.sample(count * self.total_tokens, rng)
+            sp.count("tokens", count * self.total_tokens)
+        with telemetry.span("trial_plane.verdict", trials=count):
+            accepted = _accepts(
+                flat.reshape(count, self.total_tokens),
+                self.members,
+                self.threshold,
+            )
+            return accepted != self.is_uniform
 
 
 @dataclass(frozen=True, eq=False)
@@ -323,17 +337,22 @@ class HardenedVerdictKernel:
     root_alive: bool
 
     def __call__(self, rng: np.random.Generator, count: int) -> np.ndarray:
-        flat = self.distribution.sample(count * self.total_tokens, rng)
-        if not self.root_alive:
-            return np.ones(count, dtype=bool)
-        if self.threshold is None:
-            accepted = np.zeros(count, dtype=bool)
-        else:
-            alarms = grouped_collision_flags(
-                flat.reshape(count, self.total_tokens), self.members
-            ).sum(axis=1)
-            accepted = alarms < self.threshold
-        return accepted != self.is_uniform
+        with telemetry.span(
+            "trial_plane.draw", trials=count, hardened=True
+        ) as sp:
+            flat = self.distribution.sample(count * self.total_tokens, rng)
+            sp.count("tokens", count * self.total_tokens)
+        with telemetry.span("trial_plane.verdict", trials=count, hardened=True):
+            if not self.root_alive:
+                return np.ones(count, dtype=bool)
+            if self.threshold is None:
+                accepted = np.zeros(count, dtype=bool)
+            else:
+                alarms = grouped_collision_flags(
+                    flat.reshape(count, self.total_tokens), self.members
+                ).sum(axis=1)
+                accepted = alarms < self.threshold
+            return accepted != self.is_uniform
 
 
 # ---------------------------------------------------------------------------
@@ -443,23 +462,27 @@ class CongestTrialRunner:
         )
         if engine_check > 0.0:
             checked = min(trials, max(1, int(round(engine_check * trials))))
-            experiment = _CongestTrialExperiment(
-                tester=self.tester,
-                topology=self.topology,
-                distribution=distribution,
-                is_uniform=is_uniform,
-                warm_start=True,
-            )
-            engine_flags = TrialRunner(base_seed=base_seed).run_flags(
-                experiment, checked, "congest", self.topology.k
-            )
-            if not np.array_equal(engine_flags, flags[:checked]):
-                bad = np.flatnonzero(engine_flags != flags[:checked])
-                raise SimulationError(
-                    f"trial-plane verdicts diverge from the engine on "
-                    f"trials {bad[:8].tolist()} of {checked} checked — "
-                    f"bit-identity contract broken"
+            with telemetry.span(
+                "trial_plane.engine_check", trials=checked
+            ) as sp:
+                experiment = _CongestTrialExperiment(
+                    tester=self.tester,
+                    topology=self.topology,
+                    distribution=distribution,
+                    is_uniform=is_uniform,
+                    warm_start=True,
                 )
+                engine_flags = TrialRunner(base_seed=base_seed).run_flags(
+                    experiment, checked, "congest", self.topology.k
+                )
+                sp.count("checked", checked)
+                if not np.array_equal(engine_flags, flags[:checked]):
+                    bad = np.flatnonzero(engine_flags != flags[:checked])
+                    raise SimulationError(
+                        f"trial-plane verdicts diverge from the engine on "
+                        f"trials {bad[:8].tolist()} of {checked} checked — "
+                        f"bit-identity contract broken"
+                    )
         return flags
 
     def error_rate(
@@ -699,24 +722,28 @@ class HardenedTrialRunner:
         )
         if engine_check > 0.0:
             checked = min(trials, max(1, int(round(engine_check * trials))))
-            experiment = _HardenedTrialExperiment(
-                tester=self.tester,
-                topology=self.topology,
-                distribution=distribution,
-                is_uniform=is_uniform,
-                faults=self.faults,
-                d_hint=self.d_hint,
-            )
-            engine_flags = TrialRunner(base_seed=base_seed).run_flags(
-                experiment, checked, "hardened", self.topology.k
-            )
-            if not np.array_equal(engine_flags, flags[:checked]):
-                bad = np.flatnonzero(engine_flags != flags[:checked])
-                raise SimulationError(
-                    f"pack-then-replay verdicts diverge from the engine on "
-                    f"trials {bad[:8].tolist()} of {checked} checked — "
-                    f"bit-identity contract broken"
+            with telemetry.span(
+                "trial_plane.engine_check", trials=checked, hardened=True
+            ) as sp:
+                experiment = _HardenedTrialExperiment(
+                    tester=self.tester,
+                    topology=self.topology,
+                    distribution=distribution,
+                    is_uniform=is_uniform,
+                    faults=self.faults,
+                    d_hint=self.d_hint,
                 )
+                engine_flags = TrialRunner(base_seed=base_seed).run_flags(
+                    experiment, checked, "hardened", self.topology.k
+                )
+                sp.count("checked", checked)
+                if not np.array_equal(engine_flags, flags[:checked]):
+                    bad = np.flatnonzero(engine_flags != flags[:checked])
+                    raise SimulationError(
+                        f"pack-then-replay verdicts diverge from the engine "
+                        f"on trials {bad[:8].tolist()} of {checked} checked "
+                        f"— bit-identity contract broken"
+                    )
         return flags
 
     def error_rate(

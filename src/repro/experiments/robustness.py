@@ -32,6 +32,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.congest.hardened import (
     HardenedCongestTester,
     PhaseSchedule,
@@ -179,6 +180,9 @@ def robustness_sweep(
     )
     topo = make_topology(topology, k)
     d_hint = topo.diameter_upper_bound()
+    telemetry.annotate(
+        solved={"tau": tester.params.tau, "d_hint": d_hint}
+    )
     schedule = PhaseSchedule.build(d_hint, tester.params.tau, tester.policy)
     dist_u = uniform(n)
     dist_far = far_family("paninski", n, min(eps, 1.0), rng=base_seed)
@@ -191,8 +195,29 @@ def robustness_sweep(
             crashes=_crash_plan(k, frac, schedule.count_end, base_seed, t),
         )
 
+    with telemetry.span(
+        "robustness.sweep",
+        topology=topology,
+        n=n,
+        k=k,
+        eps=eps,
+        trials=trials,
+        grid_points=len(grid),
+        fast_path=fast_path,
+    ):
+        return _sweep_points(
+            tester, topo, dist_u, dist_far, grid, point_plan,
+            topology, k, trials, base_seed, fast_path, engine_check, d_hint,
+        )
+
+
+def _sweep_points(
+    tester, topo, dist_u, dist_far, grid, point_plan,
+    topology, k, trials, base_seed, fast_path, engine_check, d_hint,
+):
     score_u = score_f = None
     fast_share = 0.0
+    plane = None
     if fast_path:
         # Imported here: repro.experiments.__init__ loads this module,
         # and the fault plane uses the congest package.
@@ -200,114 +225,146 @@ def robustness_sweep(
         from repro.rng import ensure_rng
 
         fast_start = time.perf_counter()
-        plans = [
-            point_plan(drop, frac, t)
-            for drop, frac in grid
-            for t in range(trials)
-        ]
-        plane = HardenedFaultPlane.build(tester, topo, plans, d_hint=d_hint)
-        # Trial t draws the same samples at every grid point, so sample
-        # the `trials` unique streams once and fan them out by row.
-        total = plane.trials.total_tokens
-        fan = np.tile(np.arange(trials), len(grid))
-        score_u = plane.trials.score(
-            np.stack(
-                [
-                    dist_u.sample(total, ensure_rng(base_seed + t))
-                    for t in range(trials)
-                ]
-            )[fan]
-        )
-        score_f = plane.trials.score(
-            np.stack(
-                [
-                    dist_far.sample(total, ensure_rng(base_seed + t))
-                    for t in range(trials)
-                ]
-            )[fan]
-        )
+        with telemetry.span(
+            "robustness.fast_build", grid_points=len(grid), trials=trials
+        ):
+            plans = [
+                point_plan(drop, frac, t)
+                for drop, frac in grid
+                for t in range(trials)
+            ]
+            plane = HardenedFaultPlane.build(
+                tester, topo, plans, d_hint=d_hint
+            )
+            # Trial t draws the same samples at every grid point, so
+            # sample the `trials` unique streams once and fan them out
+            # by row.
+            total = plane.trials.total_tokens
+            fan = np.tile(np.arange(trials), len(grid))
+            score_u = plane.trials.score(
+                np.stack(
+                    [
+                        dist_u.sample(total, ensure_rng(base_seed + t))
+                        for t in range(trials)
+                    ]
+                )[fan]
+            )
+            score_f = plane.trials.score(
+                np.stack(
+                    [
+                        dist_far.sample(total, ensure_rng(base_seed + t))
+                        for t in range(trials)
+                    ]
+                )[fan]
+            )
         fast_share = (time.perf_counter() - fast_start) / len(grid)
 
     points = []
     for index, (drop, frac) in enumerate(grid):
-        err_u = err_f = no_verdict = 0
-        rounds = drops = missing = shortfall = unheard = 0.0
-        agreement = 0.0
-        crashed_nodes = int(frac * (k - 1))
-        if fast_path:
-            rows = slice(index * trials, (index + 1) * trials)
-            verdicts_u = score_u.verdicts[rows]
-            verdicts_f = score_f.verdicts[rows]
-            err_u = sum(v is not True for v in verdicts_u)
-            err_f = sum(v is not False for v in verdicts_f)
-            no_verdict = sum(v is None for v in verdicts_u) + sum(
-                v is None for v in verdicts_f
-            )
-            # Sample-independent counters are shared by the uniform and
-            # far runs of a trial, so the per-run mean is the per-trial
-            # mean; agreement is sample-dependent and averages both.
-            missing = 2.0 * float(plane.trials.missing_subtrees[rows].sum())
-            shortfall = 2.0 * float(plane.trials.shortfall[rows].sum())
-            unheard = 2.0 * float(plane.trials.unheard[rows].sum())
-            agreement = float(
-                score_u.agreement[rows].sum() + score_f.agreement[rows].sum()
-            )
-            engine_trials = (
-                min(trials, max(1, int(round(engine_check * trials))))
-                if engine_check > 0
-                else 0
-            )
-        else:
-            engine_trials = trials
-        engine_start = time.perf_counter()
-        for t in range(engine_trials):
-            plan = point_plan(drop, frac, t)
-            res_u = tester.run(topo, dist_u, rng=base_seed + t, faults=plan)
-            res_f = tester.run(topo, dist_far, rng=base_seed + t, faults=plan)
+        point_span = telemetry.span(
+            "robustness.point",
+            drop_prob=float(drop),
+            crash_fraction=float(frac),
+        )
+        with point_span:
+            err_u = err_f = no_verdict = 0
+            rounds = drops = missing = shortfall = unheard = 0.0
+            agreement = 0.0
+            crashed_nodes = int(frac * (k - 1))
             if fast_path:
-                row = index * trials + t
-                plane.trials.check_against_engine(
-                    row, res_u, score_u.verdicts[row],
-                    float(score_u.agreement[row]),
+                rows = slice(index * trials, (index + 1) * trials)
+                verdicts_u = score_u.verdicts[rows]
+                verdicts_f = score_f.verdicts[rows]
+                err_u = sum(v is not True for v in verdicts_u)
+                err_f = sum(v is not False for v in verdicts_f)
+                no_verdict = sum(v is None for v in verdicts_u) + sum(
+                    v is None for v in verdicts_f
                 )
-                plane.trials.check_against_engine(
-                    row, res_f, score_f.verdicts[row],
-                    float(score_f.agreement[row]),
+                # Sample-independent counters are shared by the uniform
+                # and far runs of a trial, so the per-run mean is the
+                # per-trial mean; agreement is sample-dependent and
+                # averages both.
+                missing = 2.0 * float(
+                    plane.trials.missing_subtrees[rows].sum()
+                )
+                shortfall = 2.0 * float(plane.trials.shortfall[rows].sum())
+                unheard = 2.0 * float(plane.trials.unheard[rows].sum())
+                agreement = float(
+                    score_u.agreement[rows].sum()
+                    + score_f.agreement[rows].sum()
+                )
+                engine_trials = (
+                    min(trials, max(1, int(round(engine_check * trials))))
+                    if engine_check > 0
+                    else 0
                 )
             else:
-                err_u += res_u.verdict is not True
-                err_f += res_f.verdict is not False
-                no_verdict += (res_u.verdict is None) + (
-                    res_f.verdict is None
-                )
-                missing += res_u.missing_subtrees + res_f.missing_subtrees
-                shortfall += res_u.shortfall + res_f.shortfall
-                unheard += res_u.unheard + res_f.unheard
-                agreement += res_u.agreement + res_f.agreement
-            rounds += res_u.report.rounds + res_f.report.rounds
-            drops += res_u.report.drops + res_f.report.drops
-        engine_seconds = time.perf_counter() - engine_start
-        counter_runs = 2 * (trials if fast_path else engine_trials)
-        engine_runs = 2 * engine_trials
-        points.append(
-            RobustnessPoint(
-                topology=topology,
-                drop_prob=float(drop),
-                crash_fraction=float(frac),
-                crashed_nodes=crashed_nodes,
-                trials=trials,
-                error_uniform=err_u / trials,
-                error_far=err_f / trials,
-                no_verdict=no_verdict,
-                mean_rounds=rounds / engine_runs if engine_runs else 0.0,
-                mean_drops=drops / engine_runs if engine_runs else 0.0,
-                mean_missing_subtrees=missing / counter_runs,
-                mean_shortfall=shortfall / counter_runs,
-                mean_unheard=unheard / counter_runs,
-                mean_agreement=agreement / counter_runs,
-                engine_trials=engine_trials,
-                fast_path_seconds=fast_share,
-                engine_seconds=engine_seconds,
+                engine_trials = trials
+            engine_start = time.perf_counter()
+            check_span = telemetry.span(
+                "robustness.engine_check" if fast_path
+                else "robustness.point_engine",
+                trials=engine_trials,
             )
-        )
+            with check_span:
+                for t in range(engine_trials):
+                    plan = point_plan(drop, frac, t)
+                    res_u = tester.run(
+                        topo, dist_u, rng=base_seed + t, faults=plan
+                    )
+                    res_f = tester.run(
+                        topo, dist_far, rng=base_seed + t, faults=plan
+                    )
+                    if fast_path:
+                        row = index * trials + t
+                        plane.trials.check_against_engine(
+                            row, res_u, score_u.verdicts[row],
+                            float(score_u.agreement[row]),
+                        )
+                        plane.trials.check_against_engine(
+                            row, res_f, score_f.verdicts[row],
+                            float(score_f.agreement[row]),
+                        )
+                    else:
+                        err_u += res_u.verdict is not True
+                        err_f += res_f.verdict is not False
+                        no_verdict += (res_u.verdict is None) + (
+                            res_f.verdict is None
+                        )
+                        missing += (
+                            res_u.missing_subtrees + res_f.missing_subtrees
+                        )
+                        shortfall += res_u.shortfall + res_f.shortfall
+                        unheard += res_u.unheard + res_f.unheard
+                        agreement += res_u.agreement + res_f.agreement
+                    rounds += res_u.report.rounds + res_f.report.rounds
+                    drops += res_u.report.drops + res_f.report.drops
+            engine_seconds = time.perf_counter() - engine_start
+            counter_runs = 2 * (trials if fast_path else engine_trials)
+            engine_runs = 2 * engine_trials
+            point_span.count("errors_uniform", int(err_u))
+            point_span.count("errors_far", int(err_f))
+            point_span.count("no_verdict", int(no_verdict))
+            point_span.count("engine_trials", engine_trials)
+            points.append(
+                RobustnessPoint(
+                    topology=topology,
+                    drop_prob=float(drop),
+                    crash_fraction=float(frac),
+                    crashed_nodes=crashed_nodes,
+                    trials=trials,
+                    error_uniform=err_u / trials,
+                    error_far=err_f / trials,
+                    no_verdict=no_verdict,
+                    mean_rounds=rounds / engine_runs if engine_runs else 0.0,
+                    mean_drops=drops / engine_runs if engine_runs else 0.0,
+                    mean_missing_subtrees=missing / counter_runs,
+                    mean_shortfall=shortfall / counter_runs,
+                    mean_unheard=unheard / counter_runs,
+                    mean_agreement=agreement / counter_runs,
+                    engine_trials=engine_trials,
+                    fast_path_seconds=fast_share,
+                    engine_seconds=engine_seconds,
+                )
+            )
     return tuple(points)

@@ -44,6 +44,7 @@ from typing import Callable, List, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.exceptions import ParameterError
 from repro.experiments.stats import ErrorEstimate, estimate
 from repro.rng import derive
@@ -122,7 +123,20 @@ def _gather(
 ) -> np.ndarray:
     """Run chunk tasks in-process or on a pool; reassemble in chunk order."""
     if workers <= 1 or len(arglist) <= 1:
-        parts = [task(args) for args in arglist]
+        if telemetry.enabled():
+            # One span per chunk (args[3] = chunk index, args[4] = length).
+            # Pool chunks are not traced — workers carry no tracer — but
+            # the caller's enclosing span still accounts their wall time.
+            parts = []
+            for args in arglist:
+                with telemetry.span(
+                    "trials.chunk", chunk=args[3], trials=args[4]
+                ) as sp:
+                    part = task(args)
+                    sp.count("failures", int(part[1].sum()))
+                parts.append(part)
+        else:
+            parts = [task(args) for args in arglist]
     else:
         with ProcessPoolExecutor(max_workers=min(workers, len(arglist))) as pool:
             parts = list(pool.map(task, arglist))
@@ -167,7 +181,16 @@ class TrialRunner:
             (experiment, self.base_seed, labels, c, length)
             for c, length in enumerate(_chunk_lengths(trials))
         ]
-        return _gather(_scalar_task, arglist, workers)
+        with telemetry.span(
+            "trials.run",
+            mode="scalar",
+            labels=list(labels),
+            workers=workers,
+        ) as sp:
+            flags = _gather(_scalar_task, arglist, workers)
+            sp.count("trials", trials)
+            sp.count("failures", int(flags.sum()))
+        return flags
 
     def run_flags_batched(
         self,
@@ -192,7 +215,17 @@ class TrialRunner:
             (experiment, self.base_seed, labels, c, length, batch)
             for c, length in enumerate(_chunk_lengths(trials))
         ]
-        return _gather(_batched_task, arglist, workers)
+        with telemetry.span(
+            "trials.run",
+            mode="batched",
+            labels=list(labels),
+            batch=batch,
+            workers=workers,
+        ) as sp:
+            flags = _gather(_batched_task, arglist, workers)
+            sp.count("trials", trials)
+            sp.count("failures", int(flags.sum()))
+        return flags
 
     # -- rate-level API ------------------------------------------------
 

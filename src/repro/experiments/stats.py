@@ -26,6 +26,14 @@ class ErrorEstimate:
     low: float
     high: float
 
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ParameterError(f"trials must be >= 1, got {self.trials}")
+        if not 0 <= self.failures <= self.trials:
+            raise ParameterError(
+                f"failures must be in [0, {self.trials}], got {self.failures}"
+            )
+
     @property
     def rate(self) -> float:
         """Point estimate ``failures / trials``."""

@@ -17,9 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.exceptions import ParameterError
 from repro.monitoring.stream import EpochStream
-from repro.rng import SeedLike, ensure_rng
+from repro.rng import SeedLike, derive, ensure_rng, spawn
 from repro.zeroround.threshold_tester import ThresholdNetworkTester
 
 
@@ -64,6 +66,10 @@ class MonitorReport:
 
     def incident_open_at(self, epoch: int) -> bool:
         """Whether an incident was open during *epoch*."""
+        if not 0 <= epoch < len(self.records):
+            raise ParameterError(
+                f"epoch must be in [0, {len(self.records)}), got {epoch}"
+            )
         return self.records[epoch].incident_open
 
     def epochs_in_incident(self) -> int:
@@ -101,10 +107,36 @@ class UniformityMonitor:
         epochs: int,
         rng: SeedLike = None,
     ) -> MonitorReport:
-        """Monitor *stream* for *epochs* epochs; return the full history."""
+        """Monitor *stream* for *epochs* epochs; return the full history.
+
+        Each epoch draws from its own stream keyed by ``(rng, epoch)``, so
+        ``run(stream, N)`` records are a bit-identical prefix of
+        ``run(stream, 2 * N)`` under the same seed: extending a run never
+        rewrites its history.
+        """
         if epochs < 1:
             raise ParameterError(f"epochs must be >= 1, got {epochs}")
-        gen = ensure_rng(rng)
+        if rng is None or isinstance(rng, (int, np.integer)):
+            # Stable per-epoch key: independent of how many epochs run.
+            # ``None`` still means fresh entropy — but drawn once, so the
+            # run is internally prefix-stable all the same.
+            base = (
+                int(np.random.SeedSequence().generate_state(1)[0])
+                if rng is None
+                else int(rng)
+            )
+
+            def epoch_rng(epoch: int) -> np.random.Generator:
+                return derive(base, "monitor", epoch)
+
+        else:
+            # Generator / SeedSequence parent: sequential spawns are also
+            # prefix-stable (spawn advances only the parent's spawn counter).
+            gen = ensure_rng(rng)
+
+            def epoch_rng(epoch: int) -> np.random.Generator:
+                return spawn(gen, 1)[0]
+
         threshold = self.tester.params.threshold
         records: List[EpochRecord] = []
         incidents: List[Incident] = []
@@ -114,7 +146,7 @@ class UniformityMonitor:
 
         for epoch in range(epochs):
             distribution = stream.distribution_at(epoch)
-            alarms = self.tester.rejection_count(distribution, gen)
+            alarms = self.tester.rejection_count(distribution, epoch_rng(epoch))
             alarming = alarms >= threshold
             if alarming:
                 consecutive_alarms += 1

@@ -32,9 +32,11 @@ is bit-identical to the fault-free engine.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro import telemetry
 from repro.exceptions import BandwidthExceededError, SimulationError
 from repro.rng import SeedLike, ensure_rng, spawn_lazy
 from repro.simulator.faults import FaultPlan
@@ -141,6 +143,13 @@ class SynchronousEngine:
         Optional :class:`~repro.simulator.faults.FaultPlan` applied at
         delivery time.  ``None`` or a null plan keeps the fault-free fast
         path, bit-identical to an engine without the parameter.
+    phase_names:
+        Names for the protocol's phases, used only when a telemetry
+        tracer is active.  The flooding protocols separate phases with
+        globally-quiet rounds; the engine segments its round log at
+        those boundaries and emits one ``engine.phase.<name>`` span per
+        segment.  When the segment count does not match (early halt,
+        faults), generic ``phase1…phaseN`` names are used instead.
     """
 
     def __init__(
@@ -151,6 +160,7 @@ class SynchronousEngine:
         record_trace: bool = False,
         deadlock_quiet_rounds: int = DEFAULT_DEADLOCK_QUIET_ROUNDS,
         faults: Optional[FaultPlan] = None,
+        phase_names: Optional[Sequence[str]] = None,
     ) -> None:
         if bandwidth_bits is not None and bandwidth_bits < 1:
             raise SimulationError(
@@ -177,6 +187,7 @@ class SynchronousEngine:
         # A null plan takes the fault-free fast path: delivery then runs
         # the exact pre-fault inner loop, bit-identical to no plan at all.
         self.faults = None if faults is None or faults.is_null else faults
+        self.phase_names = tuple(phase_names) if phase_names else ()
 
     def run(
         self,
@@ -193,6 +204,80 @@ class SynchronousEngine:
             Seed or generator; each node receives an independent child
             generator (private coins), materialised lazily on first use.
         """
+        if not telemetry.enabled():
+            return self._run(program_factory, rng, None)
+        with telemetry.span(
+            "engine.run",
+            nodes=self.topology.k,
+            bandwidth_bits=self.bandwidth_bits,
+        ) as sp:
+            # Per-round (stats, elapsed) rows captured only under tracing;
+            # the run itself is bit-identical either way — telemetry never
+            # touches the RNG or the control flow.
+            phase_rows: List[tuple] = []
+            report = self._run(program_factory, rng, phase_rows)
+            sp.set(halted=report.halted)
+            sp.count("rounds", report.rounds)
+            sp.count("messages", report.messages)
+            sp.count("bits", report.total_bits)
+            if report.drops:
+                sp.count("drops", report.drops)
+            if report.delays:
+                sp.count("delays", report.delays)
+            if report.crashes:
+                sp.count("crashes", report.crashes)
+            self._emit_phase_spans(phase_rows)
+            return report
+
+    def _emit_phase_spans(self, phase_rows: List[tuple]) -> None:
+        """Segment the round log at quiet boundaries into phase spans.
+
+        A phase ends with the globally-quiet round(s) that let every node
+        observe the phase boundary, so quiet rounds are accounted to the
+        phase they terminate and a new segment opens at the first busy
+        round after silence.
+        """
+        if not phase_rows:
+            return
+        segments: List[List[tuple]] = [[]]
+        prev_quiet = False
+        for row in phase_rows:
+            quiet = row[1]
+            if prev_quiet and not quiet:
+                segments.append([])
+            segments[-1].append(row)
+            prev_quiet = quiet
+        names = self.phase_names
+        if len(names) != len(segments):
+            names = tuple(f"phase{i + 1}" for i in range(len(segments)))
+        for name, rows in zip(names, segments):
+            counters = {
+                "rounds": len(rows),
+                "messages": sum(r[2] for r in rows),
+                "bits": sum(r[3] for r in rows),
+            }
+            drops = sum(r[4] for r in rows)
+            delays = sum(r[5] for r in rows)
+            crashes = sum(r[6] for r in rows)
+            if drops:
+                counters["drops"] = drops
+            if delays:
+                counters["delays"] = delays
+            if crashes:
+                counters["crashes"] = crashes
+            telemetry.record_span(
+                f"engine.phase.{name}",
+                seconds=sum(r[7] for r in rows),
+                attrs={"first_round": rows[0][0], "last_round": rows[-1][0]},
+                counters=counters,
+            )
+
+    def _run(
+        self,
+        program_factory: Callable[[int], NodeProgram],
+        rng: SeedLike,
+        phase_rows: Optional[List[tuple]],
+    ) -> EngineReport:
         topo = self.topology
         k = topo.k
         gen = ensure_rng(rng)
@@ -273,6 +358,7 @@ class SynchronousEngine:
         record_trace = self.record_trace
         deadlock_limit = self.deadlock_quiet_rounds
         max_rounds = self.max_rounds
+        phase_clock = time.perf_counter() if phase_rows is not None else 0.0
 
         while rounds < max_rounds:
             if live_count == 0 and not in_flight and not delayed:
@@ -424,6 +510,14 @@ class SynchronousEngine:
                         crashes=round_crashes,
                     )
                 )
+            if phase_rows is not None:
+                now = time.perf_counter()
+                phase_rows.append((
+                    rounds, quiet_streak > 0, round_messages, round_bits,
+                    round_drops, round_delays, round_crashes,
+                    now - phase_clock,
+                ))
+                phase_clock = now
             in_flight = self._collect(contexts, active)
             for v in touched:
                 inboxes[v].clear()

@@ -51,6 +51,17 @@ class TestEstimate:
         s = str(estimate(3, 30))
         assert "[" in s and "]" in s
 
+    def test_zero_trials_rejected_at_construction(self):
+        # Previously .rate raised ZeroDivisionError; now construction fails.
+        with pytest.raises(ParameterError):
+            ErrorEstimate(failures=0, trials=0, low=0.0, high=0.0)
+
+    def test_failures_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            ErrorEstimate(failures=11, trials=10, low=0.0, high=1.0)
+        with pytest.raises(ParameterError):
+            ErrorEstimate(failures=-1, trials=10, low=0.0, high=1.0)
+
 
 class TestEmpiricalSampleComplexity:
     def test_finds_deterministic_threshold(self):

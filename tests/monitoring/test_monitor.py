@@ -88,3 +88,30 @@ class TestHysteresis:
             UniformityMonitor(tester=tester).run(
                 StationaryStream(uniform(N)), epochs=0
             )
+
+
+class TestDeterminism:
+    def test_short_run_is_prefix_of_long_run(self, tester):
+        """Epoch draws are keyed by (seed, epoch): extending a run never
+        rewrites its history."""
+        monitor = UniformityMonitor(tester=tester, raise_after=2, clear_after=2)
+        stream = StationaryStream(uniform(N))
+        short = monitor.run(stream, epochs=6, rng=11)
+        long = monitor.run(stream, epochs=12, rng=11)
+        assert long.records[: short.epochs] == short.records
+
+    def test_same_seed_reproduces(self, tester):
+        monitor = UniformityMonitor(tester=tester)
+        stream = StationaryStream(uniform(N))
+        a = monitor.run(stream, epochs=5, rng=13)
+        b = monitor.run(stream, epochs=5, rng=13)
+        assert a.records == b.records
+        assert a.incidents == b.incidents
+
+    def test_incident_open_at_bounds(self, tester):
+        monitor = UniformityMonitor(tester=tester)
+        report = monitor.run(StationaryStream(uniform(N)), epochs=4, rng=0)
+        with pytest.raises(ParameterError):
+            report.incident_open_at(4)
+        with pytest.raises(ParameterError):
+            report.incident_open_at(-1)

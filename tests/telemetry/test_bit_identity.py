@@ -1,0 +1,93 @@
+"""Tracing must be an observer: every traced route is bit-identical to
+its untraced run under the same seed.
+
+This pins the telemetry layer's core contract (it never draws
+randomness and never branches the traced computation) for the three
+instrumented execution routes — cold engine, trial plane, fault plane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.congest import CongestTrialRunner, CongestUniformityTester
+from repro.distributions import far_family, uniform
+from repro.experiments import make_topology
+from repro.experiments.robustness import robustness_sweep
+from repro.telemetry import Tracer, tracing
+
+N, K, EPS, P, S = 200, 60, 0.9, 1.0 / 3.0, 64
+SEED = 2018
+
+# Timing fields legitimately differ between runs; everything else must not.
+_TIMING_FIELDS = ("fast_path_seconds", "engine_seconds")
+
+
+@pytest.fixture(scope="module")
+def tester():
+    return CongestUniformityTester.solve(N, K, EPS, P, S)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return make_topology("star", K)
+
+
+class TestEngineRoute:
+    def test_cold_engine_report_identical(self, tester, topo):
+        plain = tester.run(topo, uniform(N), rng=SEED)
+        with tracing(Tracer()) as tracer:
+            traced = tester.run(topo, uniform(N), rng=SEED)
+        assert traced == plain
+        names = [e["name"] for e in tracer.events if e["event"] == "span"]
+        assert "engine.run" in names
+        assert "engine.phase.flood" in names
+        assert "engine.phase.vote_decide" in names
+
+    def test_phase_counters_sum_to_report(self, tester, topo):
+        with tracing(Tracer()) as tracer:
+            _, report = tester.run(topo, uniform(N), rng=SEED)
+        phases = [
+            e for e in tracer.events
+            if e["event"] == "span" and e["name"].startswith("engine.phase.")
+        ]
+        assert sum(e["counters"]["rounds"] for e in phases) == report.rounds
+        assert sum(e["counters"]["messages"] for e in phases) == report.messages
+        assert sum(e["counters"]["bits"] for e in phases) == report.total_bits
+
+
+class TestTrialPlaneRoute:
+    @pytest.mark.parametrize("is_uniform", [True, False])
+    def test_flags_identical(self, tester, topo, is_uniform):
+        runner = CongestTrialRunner.build(tester, topo)
+        dist = uniform(N) if is_uniform else far_family("paninski", N, EPS, rng=0)
+        plain = runner.run_flags(dist, is_uniform, trials=64, base_seed=SEED)
+        with tracing(Tracer()) as tracer:
+            traced = runner.run_flags(dist, is_uniform, trials=64, base_seed=SEED)
+        np.testing.assert_array_equal(traced, plain)
+        names = {e["name"] for e in tracer.events if e["event"] == "span"}
+        assert {"trials.run", "trials.chunk", "trial_plane.draw",
+                "trial_plane.verdict"} <= names
+
+
+class TestFaultPlaneRoute:
+    def test_sweep_columns_identical(self):
+        kwargs = dict(
+            n=N, k=K, eps=EPS, samples_per_node=S, topology="star",
+            drop_probs=(0.0, 0.05), crash_fractions=(0.0, 0.1),
+            trials=3, base_seed=SEED, fast_path=True, engine_check=0.5,
+        )
+        plain = robustness_sweep(**kwargs)
+        with tracing(Tracer()) as tracer:
+            traced = robustness_sweep(**kwargs)
+        assert len(traced) == len(plain)
+        for got, want in zip(traced, plain):
+            got_d, want_d = got.as_dict(), want.as_dict()
+            for field in _TIMING_FIELDS:
+                got_d.pop(field), want_d.pop(field)
+            assert got_d == want_d
+        names = {e["name"] for e in tracer.events if e["event"] == "span"}
+        assert {"robustness.sweep", "robustness.point", "robustness.fast_build",
+                "fault_plane.replay", "fault_plane.score"} <= names

@@ -1,0 +1,156 @@
+"""Round-trip tests: write a trace, load it back, summarise it."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.exceptions import ParameterError
+from repro.telemetry import (
+    RunManifest,
+    Tracer,
+    counter_totals,
+    load_trace,
+    phase_totals,
+    render_report,
+    tracing,
+)
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    """A real three-span trace with a manifest and a late annotation."""
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(str(path))
+    with tracing(tracer):
+        tracer.set_manifest(
+            RunManifest(
+                command="robustness",
+                route="fault-plane",
+                seed=2018,
+                argv=("robustness", "--n", "200"),
+                parameters={"n": 200, "k": 60},
+                topology={"name": "star", "k": 60},
+            )
+        )
+        telemetry.annotate(parameters={"tau": 6})
+        with telemetry.span("sweep", grid_points=2) as sweep:
+            sweep.count("trials", 8)
+            with telemetry.span("point", drop_prob=0.05) as point:
+                point.count("errors", 2)
+            telemetry.record_span("draw", 0.5, counters={"tokens": 640})
+    tracer.close()
+    return path
+
+
+class TestLoadTrace:
+    def test_tree_structure(self, trace_path):
+        trace = load_trace(str(trace_path))
+        assert [root.name for root in trace.roots] == ["sweep"]
+        (sweep,) = trace.roots
+        assert [c.name for c in sweep.children] == ["point", "draw"]
+        assert sweep.counters == {"trials": 8.0}
+        assert sweep.attrs == {"grid_points": 2}
+
+    def test_manifest_update_merges_dicts(self, trace_path):
+        trace = load_trace(str(trace_path))
+        # annotate(parameters={"tau": 6}) merges into, not replaces, the
+        # manifest's parameters dict.
+        assert trace.manifest["parameters"] == {"n": 200, "k": 60, "tau": 6}
+
+    def test_self_seconds_excludes_children(self, trace_path):
+        trace = load_trace(str(trace_path))
+        (sweep,) = trace.roots
+        children = sum(c.seconds for c in sweep.children)
+        assert sweep.self_seconds == pytest.approx(
+            max(0.0, sweep.seconds - children)
+        )
+
+    def test_walk_yields_depths(self, trace_path):
+        trace = load_trace(str(trace_path))
+        walked = [(depth, node.name) for depth, node in trace.walk()]
+        assert walked == [(0, "sweep"), (1, "point"), (1, "draw")]
+
+
+class TestSummaries:
+    def test_phase_totals(self, trace_path):
+        totals = phase_totals(load_trace(str(trace_path)))
+        assert totals["draw"]["calls"] == 1
+        assert totals["draw"]["seconds"] == pytest.approx(0.5)
+
+    def test_counter_totals_keyed_by_span_name(self, trace_path):
+        totals = counter_totals(load_trace(str(trace_path)))
+        assert totals["sweep.trials"] == 8.0
+        assert totals["point.errors"] == 2.0
+        assert totals["draw.tokens"] == 640.0
+
+    def test_render_report_mentions_everything(self, trace_path):
+        text = render_report(load_trace(str(trace_path)))
+        assert "run manifest" in text
+        assert "fault-plane" in text
+        assert "span tree (3 spans)" in text
+        assert "hot phases" in text
+        assert "counter totals" in text
+        assert "draw.tokens" in text
+
+
+class TestMalformedTraces:
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def _manifest_line(self):
+        return json.dumps(RunManifest(command="demo", route="solve").as_event())
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ParameterError, match="cannot read trace"):
+            load_trace(str(tmp_path / "nope.jsonl"))
+
+    def test_invalid_json_names_line(self, tmp_path):
+        path = self._write(tmp_path, [self._manifest_line(), "{oops"])
+        with pytest.raises(ParameterError, match=":2:"):
+            load_trace(path)
+
+    def test_no_manifest(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [json.dumps({"event": "span", "id": 1, "name": "x", "seconds": 0})],
+        )
+        with pytest.raises(ParameterError, match="no manifest"):
+            load_trace(path)
+
+    def test_duplicate_manifest(self, tmp_path):
+        path = self._write(
+            tmp_path, [self._manifest_line(), self._manifest_line()]
+        )
+        with pytest.raises(ParameterError, match="2 manifest events"):
+            load_trace(path)
+
+    def test_duplicate_span_id(self, tmp_path):
+        span = json.dumps({"event": "span", "id": 1, "name": "x", "seconds": 0})
+        path = self._write(tmp_path, [self._manifest_line(), span, span])
+        with pytest.raises(ParameterError, match="duplicate span id"):
+            load_trace(path)
+
+    def test_dangling_parent(self, tmp_path):
+        span = json.dumps(
+            {"event": "span", "id": 1, "parent": 99, "name": "x", "seconds": 0}
+        )
+        path = self._write(tmp_path, [self._manifest_line(), span])
+        with pytest.raises(ParameterError, match="unknown parent 99"):
+            load_trace(path)
+
+    def test_span_missing_field(self, tmp_path):
+        span = json.dumps({"event": "span", "id": 1, "name": "x"})
+        path = self._write(tmp_path, [self._manifest_line(), span])
+        with pytest.raises(ParameterError, match="missing field 'seconds'"):
+            load_trace(path)
+
+    def test_manifest_update_needs_fields(self, tmp_path):
+        update = json.dumps({"event": "manifest_update"})
+        path = self._write(tmp_path, [self._manifest_line(), update])
+        with pytest.raises(ParameterError, match="fields"):
+            load_trace(path)

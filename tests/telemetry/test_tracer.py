@@ -1,0 +1,165 @@
+"""Unit tests for the tracer: spans, counters, manifests, activation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.exceptions import ParameterError
+from repro.telemetry import (
+    MANIFEST_SCHEMA,
+    NULL_SPAN,
+    ROUTES,
+    TRACE_SCHEMA,
+    RunManifest,
+    Tracer,
+    library_versions,
+    tracing,
+    validate_manifest,
+)
+
+
+class TestSpans:
+    def test_nesting_records_parent_links(self):
+        with tracing(Tracer()) as tracer:
+            with telemetry.span("outer") as outer:
+                with telemetry.span("inner"):
+                    pass
+        events = [e for e in tracer.events if e["event"] == "span"]
+        # Spans are emitted on exit: inner first.
+        assert [e["name"] for e in events] == ["inner", "outer"]
+        inner, outer_ev = events
+        assert inner["parent"] == outer.span_id
+        assert outer_ev["parent"] is None
+
+    def test_counters_are_additive(self):
+        with tracing(Tracer()) as tracer:
+            with telemetry.span("work") as sp:
+                sp.count("items", 3).count("items", 4).count("errors")
+        (event,) = tracer.events
+        assert event["counters"] == {"items": 7, "errors": 1}
+
+    def test_attrs_and_numpy_coercion(self):
+        with tracing(Tracer()) as tracer:
+            with telemetry.span("work", k=np.int64(60)) as sp:
+                sp.set(mode="batched")
+        (event,) = tracer.events
+        assert event["attrs"] == {"k": 60, "mode": "batched"}
+        # Must survive JSON encoding (numpy scalars do not, raw).
+        json.dumps(event)
+
+    def test_exception_tags_error_attr(self):
+        with tracing(Tracer()) as tracer:
+            with pytest.raises(ValueError):
+                with telemetry.span("boom"):
+                    raise ValueError("nope")
+        (event,) = tracer.events
+        assert event["attrs"]["error"] == "ValueError"
+
+    def test_record_span_attaches_to_current(self):
+        with tracing(Tracer()) as tracer:
+            with telemetry.span("parent") as parent:
+                telemetry.record_span("phase", 0.25, counters={"rounds": 4})
+        phase, _ = tracer.events
+        assert phase["name"] == "phase"
+        assert phase["seconds"] == 0.25
+        assert phase["parent"] == parent.span_id
+
+
+class TestActivation:
+    def test_disabled_returns_shared_null_span(self):
+        assert not telemetry.enabled()
+        assert telemetry.span("anything", k=3) is NULL_SPAN
+        # All no-ops, chainable, usable as a context manager.
+        with telemetry.span("x") as sp:
+            assert sp.set(a=1).count("c", 2) is NULL_SPAN
+        telemetry.record_span("x", 1.0)  # no-op, no error
+        telemetry.annotate(solved={"tau": 6})  # no-op, no error
+
+    def test_tracing_restores_previous(self):
+        outer = Tracer()
+        inner = Tracer()
+        with tracing(outer):
+            with tracing(inner):
+                assert telemetry.get_tracer() is inner
+            assert telemetry.get_tracer() is outer
+        assert telemetry.get_tracer() is None
+
+    def test_annotate_emits_manifest_update(self):
+        with tracing(Tracer()) as tracer:
+            telemetry.annotate(solved={"tau": 6})
+        (event,) = tracer.events
+        assert event == {
+            "event": "manifest_update",
+            "fields": {"solved": {"tau": 6}},
+        }
+
+
+class TestFileSink:
+    def test_owned_path_writes_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(str(path))
+        with tracing(tracer):
+            tracer.set_manifest(RunManifest(command="demo", route="zero-round"))
+            with telemetry.span("work"):
+                pass
+        tracer.close()
+        tracer.close()  # idempotent
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        events = [json.loads(line) for line in lines]
+        assert events[0]["event"] == "manifest"
+        assert events[1]["event"] == "span"
+
+
+class TestManifest:
+    def _valid_event(self):
+        return RunManifest(
+            command="robustness",
+            route="fault-plane",
+            seed=2018,
+            argv=("robustness", "--n", "200"),
+            parameters={"n": 200, "k": 60},
+            topology={"name": "star", "k": 60},
+        ).as_event()
+
+    def test_as_event_is_schema_valid(self):
+        event = self._valid_event()
+        validate_manifest(event)
+        assert event["schema"] == MANIFEST_SCHEMA
+        assert event["trace_schema"] == TRACE_SCHEMA
+        assert event["route"] in ROUTES
+
+    def test_versions_cover_bitstream_libraries(self):
+        versions = library_versions()
+        assert set(versions) >= {"python", "numpy", "repro"}
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            lambda e: e.pop("command"),
+            lambda e: e.pop("versions"),
+            lambda e: e.update(route="teleport"),
+            lambda e: e.update(seed="not-an-int"),
+            lambda e: e.update(schema="repro-manifest/v999"),
+            lambda e: e.update(parameters=[1, 2]),
+            lambda e: e["versions"].pop("numpy"),
+        ],
+    )
+    def test_defects_rejected(self, corrupt):
+        event = self._valid_event()
+        corrupt(event)
+        with pytest.raises(ParameterError, match="invalid run manifest"):
+            validate_manifest(event)
+
+    def test_all_defects_reported_at_once(self):
+        event = self._valid_event()
+        del event["command"]
+        event["route"] = "teleport"
+        with pytest.raises(ParameterError) as excinfo:
+            validate_manifest(event)
+        message = str(excinfo.value)
+        assert "command" in message and "teleport" in message

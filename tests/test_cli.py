@@ -60,6 +60,51 @@ class TestParameterValidation:
         assert code == 2
         assert "--eps" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("n", ["1", "0", "-5"])
+    def test_too_small_n_rejected(self, capsys, n):
+        code = main(["solve-threshold", "--n", n, "--k", "20000"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err and "--n" in err and ">= 2" in err
+
+    @pytest.mark.parametrize("k", ["0", "-7"])
+    def test_nonpositive_k_rejected(self, capsys, k):
+        code = main(["solve-threshold", "--n", "50000", "--k", k])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err and "--k" in err and ">= 1" in err
+
+    def test_small_n_k_rejected_on_every_command(self, capsys):
+        for argv in (
+            ["demo", "--n", "1", "--k", "100"],
+            ["bounds", "--n", "50000", "--k", "0"],
+            ["solve-congest", "--n", "1", "--k", "60"],
+            ["robustness", "--n", "200", "--k", "0"],
+        ):
+            code = main(argv)
+            err = capsys.readouterr().err
+            assert code == 2, argv
+            assert "error:" in err, argv
+
+    def test_topology_minimum_nodes_enforced(self, capsys):
+        # A ring needs >= 3 nodes; only commands that build the topology check.
+        code = main(["robustness", "--n", "200", "--k", "2",
+                     "--topology", "ring", "--trials", "1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--topology ring needs k >= 3" in err
+
+    def test_topology_minimum_skipped_without_trials(self, capsys):
+        # solve-congest without --trials never builds the topology: the
+        # small-ring check must not fire (the solver's own infeasibility
+        # message surfaces instead).
+        code = main(["solve-congest", "--n", "500", "--k", "2",
+                     "--diameter", "20", "--topology", "ring"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--topology" not in err
+        assert "feasible" in err
+
     def test_in_range_values_accepted(self, capsys):
         code = main(["solve-threshold", "--n", "50000", "--k", "20000",
                      "--eps", "1.5", "--p", "0.49"])
@@ -175,3 +220,48 @@ class TestOtherCommands:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestTracing:
+    def test_trace_writes_jsonl_and_report_renders(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["robustness", "--n", "200", "--k", "60",
+             "--samples-per-node", "64", "--trials", "2",
+             "--drop-probs", "0.0", "0.05", "--seed", "2018",
+             "--trace", str(trace)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert trace.exists()
+        code = main(["report", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "route" in out and "fault-plane" in out
+        assert "robustness.sweep" in out
+        assert "hot phases" in out.lower()
+
+    def test_trace_on_solve_threshold(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        code = main(["solve-threshold", "--n", "50000", "--k", "20000",
+                     "--trace", str(trace)])
+        capsys.readouterr()
+        assert code == 0
+        code = main(["report", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solve" in out
+
+    def test_report_on_missing_file_exits_2(self, capsys, tmp_path):
+        code = main(["report", str(tmp_path / "nope.jsonl")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+    def test_report_on_garbage_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        code = main(["report", str(bad)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err

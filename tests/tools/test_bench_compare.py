@@ -106,6 +106,40 @@ class TestComparePayloads:
         )
         assert not rows and not regressions
 
+    def test_trace_phases_use_higher_noise_floor(self):
+        # 20 ms is above the 1 ms headline floor but below the
+        # trace-phase floor: skipped only inside a trace_phases block.
+        committed = {
+            "trace_phases": {"trials": 1, "engine_run_seconds": 0.02},
+            "engine_run_seconds": 0.02,
+        }
+        fresh = {
+            "trace_phases": {"trials": 1, "engine_run_seconds": 0.04},
+            "engine_run_seconds": 0.04,
+        }
+        rows, regressions = bench_compare.compare_payloads(
+            committed, fresh, tolerance=0.30
+        )
+        assert [r["path"] for r in rows] == ["engine_run_seconds"]
+        assert [r["path"] for r in regressions] == ["engine_run_seconds"]
+
+    def test_trace_phases_get_tolerance_slack(self):
+        committed = {"trace_phases": {"trials": 1, "draw_seconds": 1.0}}
+        # 50% slower: beyond the base 30% tolerance but inside the
+        # doubled (60%) trace-phase tolerance.
+        fresh_ok = {"trace_phases": {"trials": 1, "draw_seconds": 1.5}}
+        _, regressions = bench_compare.compare_payloads(
+            committed, fresh_ok, tolerance=0.30
+        )
+        assert not regressions
+        fresh_bad = {"trace_phases": {"trials": 1, "draw_seconds": 1.7}}
+        _, regressions = bench_compare.compare_payloads(
+            committed, fresh_bad, tolerance=0.30
+        )
+        assert [r["path"] for r in regressions] == [
+            "trace_phases.draw_seconds"
+        ]
+
 
 class TestCli:
     def _run(self, tmp_path, committed, fresh, extra=()):
@@ -211,7 +245,10 @@ class TestRobustnessIngestion:
         fields = bench_compare.collect_seconds(
             json.loads(committed.read_text())
         )
-        replay_fields = [p for p in fields if p.endswith("replay_seconds")]
-        engine_fields = [p for p in fields if p.endswith("runs_seconds")]
+        # Dot-anchored: the trace_phases block has its own flattened
+        # *_replay_seconds field that is not a per-point timing.
+        replay_fields = [p for p in fields if p.endswith(".replay_seconds")]
+        engine_fields = [p for p in fields if p.endswith(".runs_seconds")]
         assert len(replay_fields) == 24  # 3 topologies x 8 grid points
         assert len(engine_fields) == 24
+        assert any(p.startswith("trace_phases.") for p in fields)

@@ -9,7 +9,9 @@ more than the tolerance.
 
 Speedups and *new* fields never fail the gate — only a recorded timing
 regressing does.  Timings whose committed and fresh totals are both under
-a millisecond are skipped as pure noise.
+a millisecond are skipped as pure noise.  The telemetry-derived
+``trace_phases`` blocks (single traced runs, see ``docs/observability.md``)
+compare under a higher noise floor and doubled tolerance.
 
 Usage::
 
@@ -39,6 +41,18 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 #: Paths where both runs spent less than this many seconds are skipped —
 #: sub-millisecond timer noise, not a measurable regression.
 NOISE_FLOOR_SECONDS = 1e-3
+
+#: ``trace_phases`` blocks hold per-phase wall times from a *single*
+#: traced run (see the ``trace_phase_breakdown`` helpers in the bench
+#: scripts), so they are an order of magnitude noisier than the
+#: best-of-N headline timings: a higher floor and extra tolerance slack
+#: keep the gate on real phase-level regressions only.  The headline
+#: (untraced) ``*_seconds`` fields keep the tight gate — which is what
+#: pins the tracing-off overhead of the instrumentation to the noise
+#: floor.
+TRACE_PHASES_KEY = "trace_phases"
+TRACE_NOISE_FLOOR_SECONDS = 5e-2
+TRACE_TOLERANCE_SLACK = 2.0
 
 
 def collect_seconds(
@@ -88,10 +102,12 @@ def compare_payloads(
     for path in sorted(set(committed_fields) & set(fresh_fields)):
         committed_total, committed_scale = committed_fields[path]
         fresh_total, fresh_scale = fresh_fields[path]
-        if (
-            committed_total < NOISE_FLOOR_SECONDS
-            and fresh_total < NOISE_FLOOR_SECONDS
-        ):
+        is_trace = TRACE_PHASES_KEY in path.split(".")
+        floor = TRACE_NOISE_FLOOR_SECONDS if is_trace else NOISE_FLOOR_SECONDS
+        path_tolerance = (
+            tolerance * TRACE_TOLERANCE_SLACK if is_trace else tolerance
+        )
+        if committed_total < floor and fresh_total < floor:
             continue
         committed_unit = committed_total / committed_scale
         fresh_unit = fresh_total / fresh_scale
@@ -105,7 +121,7 @@ def compare_payloads(
             "committed_unit_seconds": committed_unit,
             "fresh_unit_seconds": fresh_unit,
             "ratio": ratio,
-            "regressed": ratio > 1.0 + tolerance,
+            "regressed": ratio > 1.0 + path_tolerance,
         }
         rows.append(row)
         if row["regressed"]:

@@ -46,11 +46,30 @@ from repro.core import CollisionGapTester  # noqa: E402
 from repro.core.collision import _SET_SCAN_CUTOFF  # noqa: E402
 from repro.distributions import uniform  # noqa: E402
 from repro.experiments import TRIAL_CHUNK, TrialRunner  # noqa: E402
+from repro.telemetry import Tracer, span_seconds_fields, tracing  # noqa: E402
 from repro.zeroround import CollisionTrialKernel, ScalarCollisionTrial  # noqa: E402
 
 N = 20_000
 DELTA = 0.05
 BASE_SEED = 2018  # PODC year; any fixed value works
+
+#: Fixed traced workload for the ``trace_phases`` payload block — the
+#: same size in smoke and full runs so the raw timings stay comparable
+#: across the two (bench_compare diffs them without a trial scale), and
+#: large enough (~100 ms batched) to clear the gate's trace noise floor.
+TRACE_TRIALS = 16_384
+
+
+def trace_phase_breakdown(runner, kernel, labels, batch) -> dict:
+    """One traced batched run, aggregated to ``*_seconds`` phase fields.
+
+    The main timings above run untraced (so the committed numbers keep
+    gating the tracing-off overhead); this single extra run is where the
+    per-phase wall-time split in the payload comes from.
+    """
+    with tracing(Tracer()) as tracer:
+        runner.run_flags_batched(kernel, TRACE_TRIALS, *labels, batch=batch)
+    return {"trials": 1, **span_seconds_fields(tracer.events)}
 
 
 def _time(fn, repeats: int = 1):
@@ -203,6 +222,9 @@ def main(argv=None) -> int:
         "speedup_parallel": round(t_serial / t_parallel, 2),
         "bit_identical": bit_identical,
         "has_collision_us": collision,
+        "trace_phases": trace_phase_breakdown(
+            runner, kernel, labels, args.batch
+        ),
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

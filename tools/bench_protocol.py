@@ -60,6 +60,7 @@ from repro.localmodel.gather_protocol import run_gather_protocol  # noqa: E402
 from repro.rng import SeedLike, ensure_rng, spawn  # noqa: E402
 from repro.simulator import Topology  # noqa: E402
 from repro.simulator.engine import EngineReport  # noqa: E402
+from repro.telemetry import Tracer, span_seconds_fields, tracing  # noqa: E402
 from repro.simulator.message import Message  # noqa: E402
 from repro.simulator.node import Context  # noqa: E402
 
@@ -91,6 +92,7 @@ class LegacySynchronousEngine:
         record_trace: bool = False,
         deadlock_quiet_rounds: int = 3,
         faults=None,
+        phase_names=None,  # accepted for signature parity, never traced
     ) -> None:
         if faults is not None and not faults.is_null:
             raise ValueError(
@@ -373,6 +375,22 @@ def bench_e6_trial_plane(trials: int, smoke: bool) -> dict:
     }
 
 
+def trace_phase_breakdown() -> dict:
+    """One traced cold E6 engine run, aggregated to ``*_seconds`` fields.
+
+    The same fixed workload in smoke and full runs (so the raw timings
+    stay comparable across the two); everything timed above runs
+    untraced, keeping the committed numbers a gate on the tracing-off
+    overhead.  The cold run is the one whose FLOOD/CLAIM/TOKENS/VOTE
+    phase split E6 cares about.
+    """
+    tester = CongestUniformityTester.solve(E6_N, E6_K, E6_EPS)
+    far = far_family("paninski", E6_N, E6_EPS, rng=0)
+    with tracing(Tracer()) as tracer:
+        tester.run(Topology.star(E6_K), far, rng=BASE_SEED)
+    return {"trials": 1, **span_seconds_fields(tracer.events)}
+
+
 def bench_e5_packaging(repeats: int) -> dict:
     topo = Topology.grid(8, 8)
     tau = 8
@@ -478,6 +496,7 @@ def main(argv=None) -> int:
         "e6_tester": e6,
         "e6_trial_plane": e15,
         "e7_gather": e7,
+        "trace_phases": trace_phase_breakdown(),
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -41,6 +41,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.experiments import Table, robustness_sweep  # noqa: E402
+from repro.telemetry import Tracer, span_seconds_fields, tracing  # noqa: E402
 
 BASE_SEED = 2018  # PODC year; any fixed value works
 
@@ -176,6 +177,32 @@ def run_sweep(topology: str, smoke: bool) -> list:
     return list(points)
 
 
+def trace_phase_breakdown() -> dict:
+    """One traced mini-sweep, aggregated to ``*_seconds`` phase fields.
+
+    The same fixed star workload in smoke and full runs (so the raw
+    timings stay comparable across the two); the main sweeps above run
+    untraced, keeping the committed numbers a gate on the tracing-off
+    overhead.
+    """
+    with tracing(Tracer()) as tracer:
+        robustness_sweep(
+            N,
+            K,
+            EPS,
+            p=P,
+            samples_per_node=SAMPLES_PER_NODE,
+            topology="star",
+            drop_probs=(0.0, 0.05),
+            crash_fractions=(0.0,),
+            trials=4,
+            base_seed=BASE_SEED,
+            fast_path=True,
+            engine_check=1 / 4,
+        )
+    return {"trials": 1, **span_seconds_fields(tracer.events)}
+
+
 def fault_plane_summary(all_points: dict) -> dict:
     """Per-trial replay-vs-engine speedup over the faulty grid points.
 
@@ -253,6 +280,7 @@ def main(argv=None) -> int:
             "samples_per_node": SAMPLES_PER_NODE,
         },
         "fault_plane": summary,
+        "trace_phases": trace_phase_breakdown(),
         "points": {
             topology: {point_label(pt): point_entry(pt) for pt in points}
             for topology, points in all_points.items()
