@@ -14,6 +14,10 @@ Commands
     Sweep the hardened Theorem 1.4 tester over a (drop × crash) fault
     grid, by default through the vectorized fault-plane replay with an
     engine cross-check subset.
+``local``
+    Run the Section 6 LOCAL tester (Luby MIS on ``G^r`` + AND rule) and
+    measure its error rate, by default through the vectorized local
+    trial plane with an optional engine cross-check.
 ``demo``
     Run a quick end-to-end demonstration: threshold network on uniform vs
     a certified ε-far distribution.
@@ -256,6 +260,81 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_local(args: argparse.Namespace) -> int:
+    from repro.experiments import make_topology
+    from repro.localmodel import LocalUniformityTester
+
+    if args.trials < 1:
+        raise ParameterError(
+            f"--trials must be >= 1, got {args.trials}"
+        )
+    if args.radius is not None and args.radius < 1:
+        raise ParameterError(
+            f"--radius must be >= 1, got {args.radius}"
+        )
+    if not 0.0 <= args.engine_check <= 1.0:
+        raise ParameterError(
+            f"--engine-check must be in [0, 1], got {args.engine_check}"
+        )
+    tester = LocalUniformityTester(n=args.n, eps=args.eps, p=args.p)
+    topo = make_topology(args.topology, args.k)
+    radius = args.radius
+    if radius is None:
+        radius = tester.choose_radius(
+            topo, rng=args.seed, fast_path=args.fast_path
+        )
+    # Show the exact plan the uniform sweep (seed + 1) will replay; on the
+    # fast path this also pre-populates the layout cache it uses.
+    from repro.localmodel.local_plane import (
+        LocalTrialRunner,
+        effective_radius,
+        mis_generator,
+    )
+
+    if args.fast_path:
+        plan = LocalTrialRunner.build(
+            tester, topo, radius, base_seed=args.seed + 1
+        ).plan
+    else:
+        plan = tester.plan(
+            topo,
+            radius,
+            mis_generator(args.seed + 1, effective_radius(topo, radius)),
+        )
+    telemetry.annotate(
+        solved={
+            "radius": plan.radius,
+            "mis_size": plan.mis_size,
+            "samples_per_node": plan.params.samples_per_node,
+        }
+    )
+    table = Table(
+        ["parameter", "value"],
+        title=f"Section 6 LOCAL tester: {args.topology}(k={args.k})",
+    )
+    table.add_row(["radius r", plan.radius])
+    table.add_row(["MIS virtual nodes", plan.mis_size])
+    table.add_row(["min catchment", plan.min_catchment])
+    table.add_row(["samples per virtual node", plan.params.samples_per_node])
+    table.add_row(["repetitions m", plan.params.m])
+    table.add_row(["LOCAL rounds", plan.rounds])
+    print(table.render())
+    u = uniform(args.n)
+    far = far_family("paninski", args.n, min(args.eps, 1.0), rng=args.seed)
+    err_u = tester.estimate_error(
+        topo, u, True, radius, args.trials, rng=args.seed + 1,
+        fast_path=args.fast_path, engine_check=args.engine_check,
+    )
+    err_f = tester.estimate_error(
+        topo, far, False, radius, args.trials, rng=args.seed + 2,
+        fast_path=args.fast_path, engine_check=args.engine_check,
+    )
+    path = "local plane" if args.fast_path else "scalar tester"
+    print(f"\nmeasured over {args.trials} trials on {args.topology} "
+          f"({path}): err(uniform)={err_u:.3f}, err(far)={err_f:.3f}")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     tester = ThresholdNetworkTester.solve(args.n, args.k, args.eps, args.p)
     u = uniform(args.n)
@@ -307,6 +386,8 @@ def _route_for(args: argparse.Namespace) -> str:
         if not args.trials:
             return "solve"
         return "trial-plane" if args.fast_path else "engine-warm"
+    if command == "local":
+        return "trial-plane" if args.fast_path else "engine-cold"
     if command == "demo":
         return "zero-round"
     if command == "solve-threshold" and args.trials:
@@ -383,6 +464,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run every trial through the full engine")
     p.set_defaults(func=_cmd_robustness)
 
+    p = sub.add_parser(
+        "local",
+        help="run the Section 6 LOCAL tester and measure its error rate",
+    )
+    _add_common(p)
+    p.add_argument("--topology", choices=("star", "ring", "grid"),
+                   default="ring", help="benchmark topology")
+    p.add_argument("--radius", type=int, default=None,
+                   help="gathering radius r (default: doubling search)")
+    p.add_argument("--trials", type=int, default=100,
+                   help="Monte-Carlo trials per distribution")
+    p.add_argument("--engine-check", type=float, default=0.0,
+                   help="fraction of trials re-run through the scalar "
+                        "tester plus an engine MIS cross-check "
+                        "(fast path only)")
+    path = p.add_mutually_exclusive_group()
+    path.add_argument("--fast-path", dest="fast_path", action="store_true",
+                      default=True,
+                      help="estimate via the vectorised local trial plane "
+                           "(default; bit-identical to the scalar tester)")
+    path.add_argument("--engine", dest="fast_path", action="store_false",
+                      help="estimate via per-trial scalar decisions over "
+                           "an engine-built plan")
+    p.set_defaults(func=_cmd_local)
+
     p = sub.add_parser("demo", help="run the threshold tester once")
     _add_common(p)
     p.set_defaults(func=_cmd_demo)
@@ -407,7 +513,7 @@ def _start_trace(
     tracer = telemetry.activate(telemetry.Tracer(args.trace))
     parameters = {
         key: getattr(args, key)
-        for key in ("n", "k", "eps", "p", "samples_per_node", "trials")
+        for key in ("n", "k", "eps", "p", "samples_per_node", "trials", "radius")
         if getattr(args, key, None) is not None
     }
     topology = None

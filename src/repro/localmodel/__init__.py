@@ -11,6 +11,8 @@ are at most ``⌊2k/r⌋`` MIS nodes.
 - :mod:`repro.localmodel.mis` — Luby's MIS as a message-passing program.
 - :mod:`repro.localmodel.gather` — catchment assignment and sample routing.
 - :mod:`repro.localmodel.tester` — the end-to-end Section 6 tester.
+- :mod:`repro.localmodel.local_plane` — the vectorised Monte-Carlo trial
+  plane (engine-free MIS layout replay + batched AND-rule verdicts).
 """
 
 from repro.localmodel.gather import GatherResult, assign_catchments
@@ -18,6 +20,12 @@ from repro.localmodel.gather_protocol import (
     GatherProgram,
     ProtocolGatherResult,
     run_gather_protocol,
+)
+from repro.localmodel.local_plane import (
+    LocalLayout,
+    LocalLayoutCheck,
+    LocalTrialRunner,
+    LocalVerdictKernel,
 )
 from repro.localmodel.mis import LubyMISProgram, luby_mis, verify_mis
 from repro.localmodel.tester import LocalPlan, LocalTestReport, LocalUniformityTester
@@ -34,4 +42,8 @@ __all__ = [
     "LocalUniformityTester",
     "LocalTestReport",
     "LocalPlan",
+    "LocalLayout",
+    "LocalLayoutCheck",
+    "LocalTrialRunner",
+    "LocalVerdictKernel",
 ]

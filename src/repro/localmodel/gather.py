@@ -18,7 +18,7 @@ assignment and verifies these lower bounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -60,35 +60,40 @@ def assign_catchments(
         raise ParameterError("mis length must equal node count")
     if r < 1:
         raise ParameterError(f"r must be >= 1, got {r}")
-    mis_nodes = [v for v in range(topology.k) if mis[v]]
-    if not mis_nodes:
+    mis_nodes = np.flatnonzero(np.asarray(mis, dtype=bool))
+    if not mis_nodes.size:
         raise ParameterError("MIS is empty")
 
     # Lexicographic (distance, owner-ID) relaxation from all MIS sources:
     # after i sweeps every node within i hops of the MIS knows its exact
     # (closest distance, smallest owner at that distance).  This matches
     # the deterministic local routing rule "forward toward the closest MIS
-    # node, breaking ties to the smallest ID".
+    # node, breaking ties to the smallest ID".  The pair packs into one
+    # int64 key ``dist·base + owner`` (base > any owner), so a sweep is a
+    # single scatter-min over the edge list: a neighbour's candidate is
+    # its own key plus one distance unit.
     infinity = topology.k + 1
-    owner = np.full(topology.k, infinity, dtype=np.int64)
-    dist = np.full(topology.k, infinity, dtype=np.int64)
-    for v in mis_nodes:
-        owner[v] = v
-        dist[v] = 0
+    base = np.int64(topology.k + 2)
+    key = np.full(topology.k, np.int64(infinity) * base + infinity, dtype=np.int64)
+    key[mis_nodes] = mis_nodes  # dist 0, owner = self
+    src = np.array(
+        [v for v in range(topology.k) for _ in topology.neighbors(v)],
+        dtype=np.int64,
+    )
+    dst = np.array(
+        [u for v in range(topology.k) for u in topology.neighbors(v)],
+        dtype=np.int64,
+    )
     for _ in range(r):
-        changed = False
-        for v in range(topology.k):
-            if dist[v] >= infinity:
-                continue
-            cand = (dist[v] + 1, owner[v])
-            for u in topology.neighbors(v):
-                if cand < (dist[u], owner[u]):
-                    dist[u], owner[u] = cand
-                    changed = True
-        if not changed:
+        relaxed = key.copy()
+        np.minimum.at(relaxed, dst, key[src] + base)
+        if np.array_equal(relaxed, key):
             break
-    # In-sweep chaining may assign owners beyond r hops early; the distances
-    # stay exact, so enforce the radius after the fact.
+        key = relaxed
+    dist = key // base
+    owner = key % base
+    # Jacobi sweeps stop at exactly r relaxations, but an unreachable node's
+    # sentinel key still decodes to a large distance; enforce the radius.
     owner[dist > r] = infinity
     unassigned = np.flatnonzero(owner >= infinity)
     if unassigned.size:
@@ -96,12 +101,17 @@ def assign_catchments(
             f"nodes {unassigned[:8].tolist()} have no MIS node within r={r} "
             "hops; the MIS is not maximal on G^r"
         )
-    samples_at: Dict[int, List[int]] = {v: [] for v in mis_nodes}
-    for v in range(topology.k):
-        samples_at[int(owner[v])].append(v)
+    # Stable sort by owner groups each catchment with node IDs ascending.
+    order = np.argsort(owner, kind="stable")
+    owners_sorted = owner[order]
+    boundaries = np.flatnonzero(np.diff(owners_sorted)) + 1
+    samples_at = {
+        int(owner[group[0]]): tuple(int(x) for x in group)
+        for group in np.split(order, boundaries)
+    }
     routing_rounds = int(dist.max())
     return GatherResult(
         owner=tuple(int(o) for o in owner),
-        samples_at={v: tuple(nodes) for v, nodes in samples_at.items()},
+        samples_at=samples_at,
         routing_rounds=routing_rounds,
     )

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.params import AndRuleParameters, and_rule_parameters
 from repro.distributions.base import DiscreteDistribution
 from repro.exceptions import InfeasibleParametersError, ParameterError
+from repro.experiments.runner import TrialRunner
 from repro.localmodel.gather import GatherResult, assign_catchments
 from repro.localmodel.mis import luby_mis, verify_mis
 from repro.rng import SeedLike, ensure_rng
@@ -107,6 +108,31 @@ class LocalUniformityTester:
     eps: float
     p: float = 1.0 / 3.0
 
+    def solve_for_layout(
+        self, virtual: int, min_catchment: int, r: int
+    ) -> AndRuleParameters:
+        """Place the Theorem 1.1 parameters on a realised MIS structure.
+
+        The one feasibility rule every route shares — the engine-backed
+        :meth:`plan`, the doubling :meth:`choose_radius` search, and the
+        trial plane's :meth:`~repro.localmodel.local_plane.LocalTrialRunner.build`
+        — so they cannot drift apart.
+
+        Raises
+        ------
+        InfeasibleParametersError
+            If the virtual nodes do not hold enough samples for the
+            Theorem 1.1 construction at this radius (increase ``r``).
+        """
+        params = and_rule_parameters(self.n, virtual, self.eps, self.p)
+        if params.samples_per_node > min_catchment:
+            raise InfeasibleParametersError(
+                f"radius r={r} gives {virtual} virtual nodes holding as few "
+                f"as {min_catchment} samples, but Theorem 1.1 needs "
+                f"{params.samples_per_node} per virtual node — increase r"
+            )
+        return params
+
     def plan(self, topology: Topology, r: int, rng: SeedLike = None) -> LocalPlan:
         """Run the structural phases (MIS + gather) at radius *r*.
 
@@ -126,13 +152,7 @@ class LocalUniformityTester:
         gather = assign_catchments(topology, mis, radius)
         virtual = len(gather.samples_at)
         min_catchment = min(len(v) for v in gather.samples_at.values())
-        params = and_rule_parameters(self.n, virtual, self.eps, self.p)
-        if params.samples_per_node > min_catchment:
-            raise InfeasibleParametersError(
-                f"radius r={r} gives {virtual} virtual nodes holding as few "
-                f"as {min_catchment} samples, but Theorem 1.1 needs "
-                f"{params.samples_per_node} per virtual node — increase r"
-            )
+        params = self.solve_for_layout(virtual, min_catchment, r)
         return LocalPlan(
             radius=radius,
             mis_size=virtual,
@@ -191,28 +211,49 @@ class LocalUniformityTester:
         topology: Topology,
         rng: SeedLike = None,
         start: int = 2,
+        fast_path: bool = False,
     ) -> int:
         """Smallest power-of-two-ish radius at which the tester is feasible.
 
         Doubles ``r`` until a trial MIS/gather supports Theorem 1.1;
         raises if even ``r = k − 1`` (full gathering at one node) fails —
         which means the whole network lacks ``Θ(√n/ε²)`` samples.
+
+        Each probe is one full :meth:`plan` call (same structural code,
+        same ``verify_mis`` cross-check, same rng consumption), so the
+        search cannot diverge from the plan it recommends.  With
+        ``fast_path=True`` (seed-like rng only) the probes instead replay
+        the MIS structurally via
+        :class:`~repro.localmodel.local_plane.LocalLayout`, sharing the
+        per-``(radius, seed)`` layout cache with any subsequent
+        fast-path error sweep — the returned radius is feasible by the
+        same :meth:`solve_for_layout` rule, though the probe MIS coins
+        are keyed per radius rather than drawn sequentially.
         """
-        gen = ensure_rng(rng)
+        if fast_path:
+            from repro.localmodel.local_plane import LocalLayout
+
+            if rng is not None and not isinstance(rng, (int, np.integer)):
+                raise ParameterError(
+                    "fast_path needs a seed-like rng (None or int): the "
+                    "layout cache replays per-radius keyed streams, not a "
+                    "shared Generator"
+                )
+            base_seed = 0 if rng is None else int(rng)
+        else:
+            gen = ensure_rng(rng)
         r = max(1, start)
         while r < 2 * topology.k:
             radius = min(r, topology.k - 1) if topology.k > 1 else 1
             try:
-                power = (
-                    topology.power_graph(radius) if topology.k > 1 else topology
-                )
-                mis, _ = luby_mis(power, gen)
-                gather = assign_catchments(topology, mis, radius)
-                virtual = len(gather.samples_at)
-                min_catchment = min(len(v) for v in gather.samples_at.values())
-                params = and_rule_parameters(self.n, virtual, self.eps, self.p)
-                if params.samples_per_node <= min_catchment:
-                    return radius
+                if fast_path:
+                    layout = LocalLayout.build(topology, r, base_seed=base_seed)
+                    self.solve_for_layout(
+                        layout.mis_size, layout.min_catchment, r
+                    )
+                else:
+                    self.plan(topology, r, gen)
+                return radius
             except InfeasibleParametersError:
                 pass
             if radius >= topology.k - 1:
@@ -232,15 +273,66 @@ class LocalUniformityTester:
         r: int,
         trials: int,
         rng: SeedLike = None,
+        workers: int = 1,
+        fast_path: bool = False,
+        engine_check: float = 0.0,
     ) -> float:
         """Monte-Carlo error rate, amortising one plan across all trials.
 
         A fresh MIS per trial would only add independent randomness the
         0-round guarantee does not rely on; the structural plan is fixed
         and each trial draws fresh samples, matching the model.
+
+        With a seed-like ``rng`` (``None`` or an int) the MIS coins come
+        from :func:`~repro.localmodel.local_plane.mis_generator` and the
+        trials run on the chunk-keyed trial engine — ``fast_path=True``
+        routes them through the vectorised
+        :class:`~repro.localmodel.local_plane.LocalTrialRunner`
+        (bit-identical flags; ``engine_check`` re-runs a prefix through
+        the scalar tester and cross-checks the layout against a real
+        engine MIS, raising ``SimulationError`` on divergence).  A
+        shared ``Generator`` keeps the legacy sequential loop.
         """
         if trials < 1:
             raise ParameterError(f"trials must be >= 1, got {trials}")
+        if rng is None or isinstance(rng, (int, np.integer)):
+            from repro.localmodel.local_plane import (
+                LocalTrialRunner,
+                effective_radius,
+                mis_generator,
+            )
+
+            base_seed = 0 if rng is None else int(rng)
+            if fast_path:
+                runner = LocalTrialRunner.build(
+                    self, topology, r, base_seed=base_seed
+                )
+                return runner.error_rate(
+                    distribution,
+                    is_uniform,
+                    trials,
+                    workers=workers,
+                    engine_check=engine_check,
+                )
+            plan = self.plan(
+                topology,
+                r,
+                mis_generator(base_seed, effective_radius(topology, r)),
+            )
+            experiment = _LocalTrialExperiment(
+                tester=self,
+                plan=plan,
+                distribution=distribution,
+                is_uniform=is_uniform,
+            )
+            return TrialRunner(base_seed=base_seed).error_rate(
+                experiment, trials, "local", topology.k, workers=workers
+            ).rate
+        if fast_path:
+            raise ParameterError(
+                "fast_path needs a seed-like rng (None or int): the trial "
+                "plane replays chunk-keyed streams, not a shared Generator"
+            )
         gen = ensure_rng(rng)
         plan = self.plan(topology, r, gen)
         errors = 0
@@ -249,3 +341,17 @@ class LocalUniformityTester:
             if accepted != is_uniform:
                 errors += 1
         return errors / trials
+
+
+@dataclass(frozen=True)
+class _LocalTrialExperiment:
+    """Picklable scalar trial: one fresh-sample decision over a fixed plan."""
+
+    tester: LocalUniformityTester
+    plan: LocalPlan
+    distribution: DiscreteDistribution
+    is_uniform: bool
+
+    def __call__(self, rng: np.random.Generator) -> bool:
+        accepted = self.tester.test_with_plan(self.plan, self.distribution, rng)
+        return accepted != self.is_uniform

@@ -106,6 +106,69 @@ class TestSampling:
         assert (s == 0).mean() == pytest.approx(0.7, abs=0.02)
 
 
+class TestQuantileSplit:
+    """``sample`` must equal ``index_quantiles ∘ sample_uniform`` exactly.
+
+    The LOCAL trial plane leans on this split (draw every slot's driver
+    value, quantile-map only the slots it reads), so the equality is a
+    bit-identity contract, not an approximation.
+    """
+
+    _CASES = [
+        uniform(200),
+        DiscreteDistribution([0.7, 0.3]),
+        # Zero-mass runs exercise the guide table's tie handling.
+        DiscreteDistribution(
+            np.concatenate([np.full(50, 0.02), np.zeros(100)])
+        ),
+        DiscreteDistribution(np.linspace(1, 40, 40) / np.linspace(1, 40, 40).sum()),
+    ]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2018])
+    @pytest.mark.parametrize("case", range(len(_CASES)))
+    def test_split_matches_sample_bit_for_bit(self, case, seed):
+        d = self._CASES[case]
+        want = d.sample(5_000, rng=seed)
+        got = d.index_quantiles(d.sample_uniform(5_000, rng=seed))
+        np.testing.assert_array_equal(got, want)
+
+    def test_sample_uniform_consumes_generator_like_sample(self):
+        d = uniform(64)
+        g1, g2 = np.random.default_rng(9), np.random.default_rng(9)
+        d.sample(257, rng=g1)
+        d.sample_uniform(257, rng=g2)
+        assert g1.bit_generator.state == g2.bit_generator.state
+
+    def test_index_quantiles_matches_searchsorted(self):
+        d = DiscreteDistribution([0.5, 0.0, 0.25, 0.25])
+        u = np.linspace(0.0, 1.0, 101, endpoint=False)
+        cdf = d.probs.cumsum()
+        cdf /= cdf[-1]
+        np.testing.assert_array_equal(
+            d.index_quantiles(u), cdf.searchsorted(u, side="right")
+        )
+
+    def test_index_quantiles_rejects_out_of_range(self):
+        d = uniform(4)
+        for bad in ([-0.1], [1.0]):
+            with pytest.raises(ValueError, match=r"\[0, 1\)"):
+                d.index_quantiles(np.asarray(bad))
+
+    def test_sample_uniform_validation_and_zero(self):
+        assert uniform(5).sample_uniform(0, rng=0).size == 0
+        with pytest.raises(ValueError):
+            uniform(5).sample_uniform(-1)
+
+    def test_max_bin_width_bounds_same_outcome_pairs(self):
+        d = DiscreteDistribution([0.5, 0.1, 0.4])
+        assert d.max_bin_width() == pytest.approx(0.5)
+        # Any two driver draws mapping to one outcome differ by < width.
+        u = np.sort(d.sample_uniform(4_000, rng=7))
+        idx = d.index_quantiles(u)
+        gaps = np.diff(u)
+        assert (gaps[np.diff(idx) == 0] < d.max_bin_width()).all()
+
+
 class TestDerivations:
     def test_mix_halfway(self):
         a = DiscreteDistribution([1.0, 0.0])

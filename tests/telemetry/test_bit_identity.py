@@ -2,8 +2,9 @@
 its untraced run under the same seed.
 
 This pins the telemetry layer's core contract (it never draws
-randomness and never branches the traced computation) for the three
-instrumented execution routes — cold engine, trial plane, fault plane.
+randomness and never branches the traced computation) for the four
+instrumented execution routes — cold engine, trial plane, fault plane,
+local plane.
 """
 
 from __future__ import annotations
@@ -70,6 +71,44 @@ class TestTrialPlaneRoute:
         names = {e["name"] for e in tracer.events if e["event"] == "span"}
         assert {"trials.run", "trials.chunk", "trial_plane.draw",
                 "trial_plane.verdict"} <= names
+
+
+class TestLocalPlaneRoute:
+    @pytest.mark.parametrize("is_uniform", [True, False])
+    def test_flags_identical(self, is_uniform):
+        from repro.localmodel import LocalTrialRunner, LocalUniformityTester
+        from repro.simulator import Topology
+
+        local_n, local_eps = 2_000, 1.5
+        tester = LocalUniformityTester(n=local_n, eps=local_eps, p=0.45)
+        runner = LocalTrialRunner.build(
+            tester, Topology.ring(512), 16, base_seed=SEED
+        )
+        dist = (
+            uniform(local_n)
+            if is_uniform
+            else far_family("support", local_n, local_eps)
+        )
+        plain = runner.run_flags(dist, is_uniform, trials=64)
+        with tracing(Tracer()) as tracer:
+            traced = runner.run_flags(dist, is_uniform, trials=64)
+        np.testing.assert_array_equal(traced, plain)
+        names = {e["name"] for e in tracer.events if e["event"] == "span"}
+        assert {"trials.run", "trials.chunk", "local_plane.draw",
+                "local_plane.verdict"} <= names
+
+    def test_layout_build_identical(self):
+        from repro.localmodel import LocalLayout
+        from repro.simulator import Topology
+
+        plain = LocalLayout.build(Topology.ring(128), 8, base_seed=SEED)
+        with tracing(Tracer()) as tracer:
+            traced = LocalLayout.build(Topology.ring(128), 8, base_seed=SEED)
+        np.testing.assert_array_equal(traced.membership, plain.membership)
+        assert traced.mis_rounds == plain.mis_rounds
+        assert traced.gather == plain.gather
+        names = {e["name"] for e in tracer.events if e["event"] == "span"}
+        assert "local_plane.layout" in names
 
 
 class TestFaultPlaneRoute:

@@ -205,6 +205,53 @@ class TestOtherCommands:
             main(["robustness", "--n", "200", "--k", "60",
                   "--trials", "2", "--fast-path", "--engine"])
 
+    # Feasible Section 6 instance: ring(512) at r=8 fits Theorem 1.1.
+    _LOCAL = ["local", "--n", "2000", "--k", "512", "--eps", "1.5",
+              "--p", "0.45", "--radius", "8"]
+
+    def test_local_fast_path(self, capsys):
+        code = main(self._LOCAL + ["--trials", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MIS virtual nodes" in out
+        assert "(local plane)" in out
+
+    def test_local_engine_route_agrees(self, capsys):
+        code = main(self._LOCAL + ["--trials", "20"])
+        fast = capsys.readouterr().out
+        assert code == 0
+        code = main(self._LOCAL + ["--trials", "20", "--engine"])
+        engine = capsys.readouterr().out
+        assert code == 0
+        assert "(scalar tester)" in engine
+        # Same seeds, same streams: the measured rates must match exactly.
+        assert fast.split("(local plane): ")[1] == \
+            engine.split("(scalar tester): ")[1]
+
+    def test_local_validation_exits_2(self, capsys):
+        for extra, needle in (
+            (["--trials", "0"], "--trials must be >= 1"),
+            (["--radius", "0", "--trials", "5"], "--radius must be >= 1"),
+            (["--engine-check", "1.5"], "--engine-check must be in [0, 1]"),
+        ):
+            base = [a for a in self._LOCAL if a not in ("--radius", "8")] \
+                if "--radius" in extra else list(self._LOCAL)
+            code = main(base + extra)
+            err = capsys.readouterr().err
+            assert code == 2
+            assert "error:" in err and needle in err
+
+    def test_local_topology_minimum_enforced(self, capsys):
+        code = main(["local", "--n", "2000", "--k", "2",
+                     "--topology", "ring", "--trials", "5"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "needs k >= 3" in err
+
+    def test_local_fast_path_engine_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(self._LOCAL + ["--trials", "5", "--fast-path", "--engine"])
+
     def test_demo(self, capsys):
         code = main(["demo", "--n", "20000", "--k", "10000", "--eps", "1.0"])
         out = capsys.readouterr().out

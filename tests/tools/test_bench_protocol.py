@@ -49,3 +49,13 @@ def test_smoke_run_writes_valid_report(tmp_path):
     assert e15["equivalent"] is True
     assert e15["speedup_vs_warm"] > 10
     assert e15["layout_seconds"] > 0
+    # The LOCAL plane must match the scalar Section 6 tester per trial,
+    # its replayed MIS layout must match the engine, and the vectorised
+    # sweep must be much faster at the same trial count.
+    e16 = payload["e7_local_plane"]
+    assert e16["bit_identical"]["fast_vs_scalar"] is True
+    assert e16["bit_identical"]["layout_vs_engine"] is True
+    assert e16["equivalent"] is True
+    assert e16["speedup_vs_scalar"] > 10
+    assert e16["trials"] >= 500
+    assert e16["layout_seconds"] > 0

@@ -1,6 +1,6 @@
 """Time the protocol simulator's fast path against the pre-fast-path engine.
 
-Three workloads, each run through up to three bit-equivalent routes:
+Four workloads, each run through up to three bit-equivalent routes:
 
 - **E5 packaging** (grid, τ=8): the full FLOOD/CHILD/COUNT/TOKENS
   protocol (*cold* — this is the run whose round count the ``O(D + τ)``
@@ -16,6 +16,12 @@ Three workloads, each run through up to three bit-equivalent routes:
   a Monte-Carlo error-rate sweep.
 - **E7 gather** (ring, r=4): the LOCAL CLAIM+ROUTE protocol cold vs
   warm (preloaded CLAIM fixpoint).
+- **E7 LOCAL trial plane** (n=20000, ring(4096), r=64): Monte-Carlo
+  error-rate trials of the Section 6 tester through the scalar
+  ``test_with_plan`` route vs the vectorised LOCAL plane
+  (:class:`repro.localmodel.LocalTrialRunner`) on the same chunk-keyed
+  streams — per-trial flags must match bit for bit, and the replayed
+  MIS layout must match a real engine run.
 
 Every route must agree exactly — identical packaging outcomes, identical
 verdicts, identical sample assignments — and the script exits non-zero
@@ -375,6 +381,146 @@ def bench_e6_trial_plane(trials: int, smoke: bool) -> dict:
     }
 
 
+# E7 LOCAL-plane workload (the EXPERIMENTS.md E7 instance): Section 6
+# tester on ring(4096) at r=64.  The trial count is fixed across smoke
+# and full runs so every *_seconds field normalises identically in
+# ``bench_compare``'s per-trial gate.
+E7L_N = 20_000
+E7L_K = 4_096
+E7L_EPS = 1.0
+E7L_P = 0.45
+E7L_RADIUS = 64
+E7L_TRIALS = 512
+
+
+def bench_e7_local_plane(smoke: bool) -> dict:
+    """E7 error-rate trials: scalar Section 6 tester vs the LOCAL plane.
+
+    Both routes replay the same chunk-keyed trial streams (uniform and
+    paninski-far sweeps, ``E7L_TRIALS`` trials each), so the per-trial
+    error flags must agree bit for bit; the plane's replayed MIS layout
+    is additionally cross-checked against a real engine run
+    (``verify_layout``).  ``fast_seconds`` is the best of five
+    steady-state passes over both sweeps; ``layout_seconds`` times the
+    once-per-(topology, radius) structural extraction.
+    """
+    from repro.distributions import uniform
+    from repro.experiments.runner import TrialRunner
+    from repro.localmodel import LocalTrialRunner, LocalUniformityTester
+    from repro.localmodel.local_plane import mis_generator
+    from repro.localmodel.tester import _LocalTrialExperiment
+
+    tester = LocalUniformityTester(n=E7L_N, eps=E7L_EPS, p=E7L_P)
+    sweeps = (
+        ("uniform", uniform(E7L_N), True),
+        ("far", far_family("paninski", E7L_N, E7L_EPS, rng=0), False),
+    )
+    trials = E7L_TRIALS
+
+    topo = Topology.ring(E7L_K)
+    start = time.perf_counter()
+    runner = LocalTrialRunner.build(
+        tester, topo, E7L_RADIUS, base_seed=BASE_SEED
+    )
+    t_layout = time.perf_counter() - start
+
+    plan = tester.plan(
+        topo, E7L_RADIUS, mis_generator(BASE_SEED, runner.layout.radius)
+    )
+    scalar_flags = {}
+    t_scalar = 0.0
+    for label, dist, is_uniform in sweeps:
+        experiment = _LocalTrialExperiment(
+            tester=tester, plan=plan, distribution=dist, is_uniform=is_uniform
+        )
+        start = time.perf_counter()
+        scalar_flags[label] = TrialRunner(base_seed=BASE_SEED).run_flags(
+            experiment, trials, "local", topo.k
+        )
+        t_scalar += time.perf_counter() - start
+
+    t_fast = float("inf")
+    for _ in range(5):  # steady state: best of a few passes
+        start = time.perf_counter()
+        fast_flags = {
+            label: runner.run_flags(dist, is_uniform, trials)
+            for label, dist, is_uniform in sweeps
+        }
+        t_fast = min(t_fast, time.perf_counter() - start)
+    identical = all(
+        np.array_equal(fast_flags[label], scalar_flags[label])
+        for label, _, _ in sweeps
+    )
+
+    start = time.perf_counter()
+    layout_check = runner.layout.verify_layout(topo)
+    t_check = time.perf_counter() - start
+
+    total_trials = trials * len(sweeps)
+    speedup = t_scalar / t_fast
+    print(f"E7 local plane  n={E7L_N} k={E7L_K} r={E7L_RADIUS} "
+          f"mis={runner.layout.mis_size} m={runner.params.m} "
+          f"trials={trials}x{len(sweeps)}")
+    print(f"  layout extraction   : {t_layout * 1000:7.1f} ms (once per "
+          f"topology+radius)")
+    print(f"  scalar tester trials: {t_scalar:7.3f} s "
+          f"({t_scalar / total_trials * 1000:6.3f} ms/trial)")
+    print(f"  local-plane trials  : {t_fast:7.3f} s "
+          f"({t_fast / total_trials * 1000:6.3f} ms/trial)  [{speedup:.0f}x]")
+    print(f"  flags identical     : {identical}   "
+          f"layout vs engine: {layout_check.equivalent}")
+
+    if not smoke:
+        from repro.experiments import Table
+
+        table = Table(
+            ["route", "seconds", "ms/trial", "speedup"],
+            title=f"E16 - LOCAL trial plane vs scalar tester, E7 "
+                  f"error-rate workload (n={E7L_N}, ring({E7L_K}), "
+                  f"r={E7L_RADIUS}, {trials} trials x {len(sweeps)} sweeps)",
+        )
+        table.add_row(["scalar tester", f"{t_scalar:.3f}",
+                       f"{t_scalar / total_trials * 1000:.3f}", "1x"])
+        table.add_row(["local plane", f"{t_fast:.4f}",
+                       f"{t_fast / total_trials * 1000:.3f}",
+                       f"{speedup:.0f}x"])
+        table.add_row(["layout extraction (once)", f"{t_layout:.3f}", "-",
+                       "-"])
+        table.add_row(["engine layout cross-check", f"{t_check:.3f}", "-",
+                       "-"])
+        results_dir = ROOT / "benchmarks" / "results"
+        results_dir.mkdir(parents=True, exist_ok=True)
+        (results_dir / "e16_local_plane.txt").write_text(
+            table.render() + "\n"
+        )
+
+    return {
+        "n": E7L_N,
+        "k": E7L_K,
+        "eps": E7L_EPS,
+        "p": E7L_P,
+        "radius": E7L_RADIUS,
+        "topology": f"ring({E7L_K})",
+        "trials": trials,
+        "sweeps": len(sweeps),
+        "mis_size": runner.layout.mis_size,
+        "samples_per_node": runner.params.samples_per_node,
+        "repetitions_m": runner.params.m,
+        "layout_seconds": round(t_layout, 5),
+        "layout_check_seconds": round(t_check, 5),
+        "scalar_seconds": round(t_scalar, 4),
+        "fast_seconds": round(t_fast, 6),
+        "speedup_vs_scalar": round(speedup, 1),
+        "err_uniform": float(np.mean(scalar_flags["uniform"])),
+        "err_far": float(np.mean(scalar_flags["far"])),
+        "bit_identical": {
+            "fast_vs_scalar": identical,
+            "layout_vs_engine": layout_check.equivalent,
+        },
+        "equivalent": identical and layout_check.equivalent,
+    }
+
+
 def trace_phase_breakdown() -> dict:
     """One traced cold E6 engine run, aggregated to ``*_seconds`` fields.
 
@@ -486,6 +632,7 @@ def main(argv=None) -> int:
     e6 = bench_e6_tester(trials)
     e15 = bench_e6_trial_plane(trials, args.smoke)
     e7 = bench_e7_gather(repeats)
+    e16 = bench_e7_local_plane(args.smoke)
 
     payload = {
         "schema": "bench_protocol/v1",
@@ -496,13 +643,14 @@ def main(argv=None) -> int:
         "e6_tester": e6,
         "e6_trial_plane": e15,
         "e7_gather": e7,
+        "e7_local_plane": e16,
         "trace_phases": trace_phase_breakdown(),
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
 
     if not (e5["equivalent"] and e6["equivalent"] and e15["equivalent"]
-            and e7["equivalent"]):
+            and e7["equivalent"] and e16["equivalent"]):
         print("ERROR: fast path disagrees with the full protocol — "
               "equivalence contract broken", file=sys.stderr)
         return 1
