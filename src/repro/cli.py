@@ -18,6 +18,11 @@ Commands
     Run the Section 6 LOCAL tester (Luby MIS on ``G^r`` + AND rule) and
     measure its error rate, by default through the vectorized local
     trial plane with an optional engine cross-check.
+``smp``
+    Run the Section 7 SMP Equality protocols (Lemma 7.3 torus chunks and
+    the Theorem 7.1 BCG reduction) on a random input pair and measure
+    their referee error rates, by default through the vectorized SMP
+    trial plane with an optional scalar cross-check.
 ``demo``
     Run a quick end-to-end demonstration: threshold network on uniform vs
     a certified ε-far distribution.
@@ -335,6 +340,83 @@ def _cmd_local(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_smp(args: argparse.Namespace) -> int:
+    from repro.core.collision import CollisionGapTester
+    from repro.rng import ensure_rng
+    from repro.smp import (
+        BCGMapping,
+        EqualityProtocol,
+        TesterBasedEqualityProtocol,
+    )
+
+    if args.trials < 1:
+        raise ParameterError(f"--trials must be >= 1, got {args.trials}")
+    if args.n_bits < 1:
+        raise ParameterError(f"--n-bits must be >= 1, got {args.n_bits}")
+    if not 0.0 < args.delta < 1.0:
+        raise ParameterError(f"--delta must be in (0, 1), got {args.delta}")
+    if args.tau <= 1.0:
+        raise ParameterError(f"--tau must exceed 1, got {args.tau}")
+    if not 0.0 <= args.engine_check <= 1.0:
+        raise ParameterError(
+            f"--engine-check must be in [0, 1], got {args.engine_check}"
+        )
+    torus = EqualityProtocol.build(args.n_bits, delta=args.delta, tau=args.tau)
+    mapping = BCGMapping(code=torus.code)
+    tester = CollisionGapTester.from_delta(mapping.domain_size, args.delta)
+    bcg = TesterBasedEqualityProtocol(mapping=mapping, tester=tester)
+    telemetry.annotate(
+        solved={
+            "codeword_bits": torus.code.codeword_bits,
+            "torus_side": torus.side,
+            "tester_samples": tester.samples_required,
+        }
+    )
+    table = Table(
+        ["parameter", "value"],
+        title=f"Section 7 SMP protocols ({args.n_bits}-bit inputs)",
+    )
+    table.add_row(["codeword bits m'", torus.code.codeword_bits])
+    table.add_row(
+        ["code relative distance", f"{torus.code.relative_distance:.4f}"]
+    )
+    table.add_row(["torus side L", torus.side])
+    table.add_row(["torus chunk t", torus.chunk_length])
+    table.add_row(["torus bits/player", torus.communication_bits])
+    table.add_row(
+        ["torus rejection bound", f"{torus.rejection_probability_bound:.4f}"]
+    )
+    table.add_row(["BCG domain 2m'", mapping.domain_size])
+    table.add_row(["BCG tester samples q", tester.samples_required])
+    table.add_row(["BCG bits/player", bcg.communication_bits])
+    print(table.render())
+    # One random input pair per seed: y differs from x in a single bit —
+    # the hardest unequal instance for a distance-based protocol.
+    gen = ensure_rng(args.seed)
+    x = gen.integers(0, 2, size=args.n_bits)
+    y = x.copy()
+    y[0] ^= 1
+    sweeps = [
+        ("torus", "x = y", torus, x, x, 1),
+        ("torus", "x != y", torus, x, y, 2),
+        ("BCG", "x = y", bcg, x, x, 3),
+        ("BCG", "x != y", bcg, x, y, 4),
+    ]
+    path = "smp plane" if args.fast_path else "scalar protocol"
+    results = Table(
+        ["protocol", "inputs", "error rate"],
+        title=f"measured over {args.trials} trials ({path})",
+    )
+    for name, inputs, protocol, a, b, offset in sweeps:
+        err = protocol.estimate_error(
+            a, b, args.trials, rng=args.seed + offset,
+            fast_path=args.fast_path, engine_check=args.engine_check,
+        )
+        results.add_row([name, inputs, f"{err:.3f}"])
+    print(results.render())
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     tester = ThresholdNetworkTester.solve(args.n, args.k, args.eps, args.p)
     u = uniform(args.n)
@@ -388,6 +470,8 @@ def _route_for(args: argparse.Namespace) -> str:
         return "trial-plane" if args.fast_path else "engine-warm"
     if command == "local":
         return "trial-plane" if args.fast_path else "engine-cold"
+    if command == "smp":
+        return "smp-plane" if args.fast_path else "engine-cold"
     if command == "demo":
         return "zero-round"
     if command == "solve-threshold" and args.trials:
@@ -489,6 +573,35 @@ def build_parser() -> argparse.ArgumentParser:
                            "an engine-built plan")
     p.set_defaults(func=_cmd_local)
 
+    p = sub.add_parser(
+        "smp",
+        help="run the Section 7 SMP Equality protocols and measure error",
+    )
+    p.add_argument("--n-bits", type=int, default=256,
+                   help="input length in bits")
+    p.add_argument("--trials", type=int, default=200,
+                   help="Monte-Carlo trials per input pair")
+    p.add_argument("--delta", type=float, default=0.05,
+                   help="completeness budget delta")
+    p.add_argument("--tau", type=float, default=2.0,
+                   help="soundness multiplier tau")
+    p.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    p.add_argument("--trace", type=str, default=None, metavar="PATH",
+                   help="write a JSONL telemetry trace (spans, "
+                        "counters, run manifest) to PATH")
+    p.add_argument("--engine-check", type=float, default=0.0,
+                   help="fraction of trials re-run through the scalar "
+                        "protocol to cross-check the plane "
+                        "(fast path only)")
+    path = p.add_mutually_exclusive_group()
+    path.add_argument("--fast-path", dest="fast_path", action="store_true",
+                      default=True,
+                      help="estimate via the vectorised SMP trial plane "
+                           "(default; bit-identical to the scalar run)")
+    path.add_argument("--engine", dest="fast_path", action="store_false",
+                      help="estimate via full per-trial scalar executions")
+    p.set_defaults(func=_cmd_smp)
+
     p = sub.add_parser("demo", help="run the threshold tester once")
     _add_common(p)
     p.set_defaults(func=_cmd_demo)
@@ -513,7 +626,8 @@ def _start_trace(
     tracer = telemetry.activate(telemetry.Tracer(args.trace))
     parameters = {
         key: getattr(args, key)
-        for key in ("n", "k", "eps", "p", "samples_per_node", "trials", "radius")
+        for key in ("n", "k", "eps", "p", "samples_per_node", "trials",
+                    "radius", "n_bits", "delta", "tau")
         if getattr(args, key, None) is not None
     }
     topology = None

@@ -272,6 +272,24 @@ class DiscreteDistribution:
         flat = self.sample(rows * cols, rng)
         return flat.reshape(rows, cols)
 
+    def sample_uniform_matrix(
+        self, rows: int, cols: int, rng: SeedLike = None
+    ) -> np.ndarray:
+        """Driver-draw matrix: ``rows × cols`` doubles, same stream as
+        :meth:`sample_matrix`.
+
+        The matrix form of :meth:`sample_uniform` — one generator call for
+        a whole trial batch, so
+        ``index_quantiles(sample_uniform_matrix(r, c, seed))`` equals
+        ``sample_matrix(r, c, seed)`` exactly.  The SMP trial plane draws
+        every trial's driver doubles this way and quantile-maps the slots
+        afterwards.
+        """
+        if rows < 0 or cols < 0:
+            raise ValueError(f"matrix shape must be non-negative, got {(rows, cols)}")
+        flat = self.sample_uniform(rows * cols, rng)
+        return flat.reshape(rows, cols)
+
     # ------------------------------------------------------------------
     # Deriving new distributions
     # ------------------------------------------------------------------

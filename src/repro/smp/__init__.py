@@ -21,6 +21,9 @@ error.  This package implements *both directions* concretely:
 - :mod:`repro.smp.lowerbound` — the quantitative side: Lemma 2.1's KL
   separation, ``f(τ) = τ−1−ln τ``, and the per-node ``(δ, α)``
   requirements that drive Theorem 1.3.
+- :mod:`repro.smp.smp_plane` — the vectorised trial plane: batched
+  GF/Reed–Solomon encoding plus Monte-Carlo replay of both protocols'
+  referee verdicts, bit-identical per seed to the scalar ``run()`` path.
 """
 
 from repro.smp.codes import ConcatenatedCode, InnerCode, repetition_inner_code
@@ -31,12 +34,19 @@ from repro.smp.reduction import (
     BCGMapping,
     TesterBasedEqualityProtocol,
 )
+from repro.smp.reduction import support_driver
 from repro.smp.reed_solomon import ReedSolomonCode
 from repro.smp.referee import (
     RefereeProtocol,
+    enumerate_balanced_partitions,
     expected_induced_distance,
     induced_distribution,
     random_balanced_partition,
+)
+from repro.smp.smp_plane import (
+    EqualityTrialRunner,
+    ReductionVerdictKernel,
+    TorusVerdictKernel,
 )
 
 __all__ = [
@@ -51,8 +61,13 @@ __all__ = [
     "TesterBasedEqualityProtocol",
     "anonymous_tester_requirements",
     "verify_kl_separation",
+    "support_driver",
     "RefereeProtocol",
     "random_balanced_partition",
     "induced_distribution",
+    "enumerate_balanced_partitions",
     "expected_induced_distance",
+    "EqualityTrialRunner",
+    "TorusVerdictKernel",
+    "ReductionVerdictKernel",
 ]

@@ -1,0 +1,33 @@
+"""Shared parameter checks for the SMP estimation APIs.
+
+Every Monte-Carlo entry point in :mod:`repro.smp` validates its ``trials``
+count through :func:`check_trials` so a float, bool or non-positive value
+raises :class:`~repro.exceptions.ParameterError` up front instead of
+producing a silent empty loop or a ZeroDivision artefact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+
+def check_trials(trials) -> int:
+    """Validate a Monte-Carlo trial count: a positive integer, returned as
+    a plain ``int``."""
+    if isinstance(trials, bool) or not isinstance(trials, (int, np.integer)):
+        raise ParameterError(f"trials must be an integer, got {trials!r}")
+    if trials < 1:
+        raise ParameterError(f"trials must be >= 1, got {trials}")
+    return int(trials)
+
+
+def check_message_bits(n_bits) -> int:
+    """Validate an input length in bits: a positive integer, returned as a
+    plain ``int``."""
+    if isinstance(n_bits, bool) or not isinstance(n_bits, (int, np.integer)):
+        raise ParameterError(f"n_bits must be an integer, got {n_bits!r}")
+    if n_bits < 1:
+        raise ParameterError(f"n_bits must be >= 1, got {n_bits}")
+    return int(n_bits)

@@ -194,6 +194,12 @@ class ConcatenatedCode:
         Pads the message to ``k_sym = ⌈bits/q⌉`` symbols and picks
         ``n_sym = ⌈k_sym/outer_rate⌉`` (capped by the field size).
         """
+        if isinstance(message_bits, bool) or not isinstance(
+            message_bits, (int, np.integer)
+        ):
+            raise CodingError(
+                f"message_bits must be an integer, got {message_bits!r}"
+            )
         if message_bits < 1:
             raise CodingError(f"message_bits must be >= 1, got {message_bits}")
         if not 0.0 < outer_rate < 1.0:
@@ -247,3 +253,29 @@ class ConcatenatedCode:
         symbols = padded.reshape(self.outer.k_sym, q) @ weights
         outer_word = self.outer.encode(symbols)
         return self.inner.encode_symbols(outer_word).reshape(-1)
+
+    def encode_many(self, bit_rows: np.ndarray) -> np.ndarray:
+        """Encode a ``(batch, bits)`` matrix of messages, one codeword per row.
+
+        Bit-for-bit identical to calling :meth:`encode` on each row: the
+        same zero-padding, the same bit-to-symbol packing, but one batched
+        Reed–Solomon evaluation
+        (:meth:`repro.smp.reed_solomon.ReedSolomonCode.encode_many`) and
+        one inner-codebook gather for the whole batch.
+        """
+        msgs = np.asarray(bit_rows, dtype=np.int64)
+        if msgs.ndim != 2 or msgs.shape[1] > self.message_bits:
+            raise CodingError(
+                f"messages must be a (batch, bits) matrix with at most "
+                f"{self.message_bits} bits per row, got shape {msgs.shape}"
+            )
+        if msgs.size and not np.all((msgs == 0) | (msgs == 1)):
+            raise CodingError("messages must be binary")
+        padded = np.zeros((msgs.shape[0], self.message_bits), dtype=np.int64)
+        padded[:, : msgs.shape[1]] = msgs
+        q = self.outer.field.q
+        weights = 1 << np.arange(q - 1, -1, -1)
+        symbols = padded.reshape(msgs.shape[0], self.outer.k_sym, q) @ weights
+        outer_words = self.outer.encode_many(symbols)
+        inner_words = self.inner.encode_symbols(outer_words)
+        return inner_words.reshape(msgs.shape[0], self.codeword_bits)

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.exceptions import CodingError, ParameterError
 from repro.rng import SeedLike, ensure_rng
+from repro.smp._validation import check_message_bits, check_trials
 from repro.smp.codes import ConcatenatedCode
 
 
@@ -81,6 +82,7 @@ class EqualityProtocol:
             If ``τδ`` exceeds what even full-row/column chunks achieve
             (rejection is capped by the code's effective distance).
         """
+        n_bits = check_message_bits(n_bits)
         if not 0.0 < delta < 1.0 or tau <= 1.0:
             raise ParameterError(f"need delta in (0,1), tau > 1; got {(delta, tau)}")
         the_code = code or ConcatenatedCode.for_message_bits(n_bits)
@@ -188,8 +190,7 @@ class EqualityProtocol:
         Encodes once and replays the chunk choices — equivalent to full
         executions because the encoding is deterministic.
         """
-        if trials < 1:
-            raise ParameterError(f"trials must be >= 1, got {trials}")
+        trials = check_trials(trials)
         gen = ensure_rng(rng)
         table_a = self._torus(np.asarray(x))
         table_b = self._torus(np.asarray(y))
@@ -209,3 +210,52 @@ class EqualityProtocol:
                 (table_a[rows, cols] != table_b[rows, cols]).sum()
             )
         return rejected / trials
+
+    def estimate_error(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        trials: int,
+        rng: SeedLike = None,
+        workers: int = 1,
+        fast_path: bool = True,
+        engine_check: float = 0.0,
+    ) -> float:
+        """Monte-Carlo error rate on ``(x, y)``: fraction of trials whose
+        referee verdict disagrees with the ground truth ``x == y``.
+
+        With a seed-like ``rng`` (``None`` or an int) the trials run on
+        the chunk-keyed trial engine; ``fast_path=True`` (the default)
+        routes them through the vectorised
+        :class:`~repro.smp.smp_plane.EqualityTrialRunner` — bit-identical
+        flags per seed, with ``engine_check`` re-running that fraction of
+        the trials through the scalar :meth:`run` and raising
+        :class:`~repro.exceptions.SimulationError` on divergence.  A live
+        ``Generator`` keeps the legacy sequential loop (and requires
+        ``fast_path=False``).
+        """
+        trials = check_trials(trials)
+        if rng is None or isinstance(rng, (int, np.integer)):
+            from repro.smp.smp_plane import EqualityTrialRunner
+
+            runner = EqualityTrialRunner.for_torus(
+                self, x, y, base_seed=0 if rng is None else int(rng)
+            )
+            if fast_path:
+                return runner.error_rate(
+                    trials, workers=workers, engine_check=engine_check
+                )
+            return runner.scalar_error_rate(trials, workers=workers)
+        if fast_path:
+            raise ParameterError(
+                "fast_path needs a seed-like rng (None or int): the trial "
+                "plane replays chunk-keyed streams, not a shared Generator"
+            )
+        gen = ensure_rng(rng)
+        equal = bool(np.array_equal(np.asarray(x), np.asarray(y)))
+        errors = 0
+        for _ in range(trials):
+            accepted, _ = self.run(x, y, gen)
+            if accepted != equal:
+                errors += 1
+        return errors / trials

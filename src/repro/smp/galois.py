@@ -115,3 +115,73 @@ class GF:
         for coeff in np.asarray(coefficients, dtype=np.int64)[::-1]:
             acc = self.mul_vec(acc, points) ^ int(coeff)
         return acc
+
+    # ------------------------------------------------------------------
+    # Batched kernels (the SMP-plane fast path)
+    # ------------------------------------------------------------------
+
+    def _check_array(self, a: np.ndarray) -> np.ndarray:
+        arr = np.asarray(a, dtype=np.int64)
+        if arr.size and (arr.min() < 0 or arr.max() >= self.order):
+            raise CodingError(f"array elements outside GF(2^{self.q})")
+        return arr
+
+    def mul_matrix(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Field matrix product ``(rows, k) @ (k, cols)`` with XOR accumulation.
+
+        The GF analogue of ``a @ b``: entry ``(r, c)`` is
+        ``⊕_i mul(a[r, i], b[i, c])``.  Accumulated one rank-1 outer
+        product per inner index via the vectorised log tables, so the
+        working set stays at ``rows × cols`` — element-identical to the
+        scalar :meth:`mul`/:meth:`add` loop.
+        """
+        av = self._check_array(a)
+        bv = self._check_array(b)
+        if av.ndim != 2 or bv.ndim != 2 or av.shape[1] != bv.shape[0]:
+            raise CodingError(
+                f"mul_matrix needs (rows, k) x (k, cols), got "
+                f"{av.shape} x {bv.shape}"
+            )
+        acc = np.zeros((av.shape[0], bv.shape[1]), dtype=np.int64)
+        for i in range(av.shape[1]):
+            acc ^= self.mul_vec(av[:, i : i + 1], bv[i, :])
+        return acc
+
+    def power_table(self, points: np.ndarray, degree: int) -> np.ndarray:
+        """Vandermonde power table ``T[i, j] = points[j]^i`` for ``i < degree``.
+
+        Built in one shot from the log/antilog tables
+        (``exp[(i · log p) mod (2^q − 1)]``), with the ``0^0 = 1`` /
+        ``0^i = 0`` convention of :meth:`pow` patched in explicitly.
+        """
+        if degree < 1:
+            raise CodingError(f"degree must be >= 1, got {degree}")
+        pts = self._check_array(points)
+        if pts.ndim != 1:
+            raise CodingError(f"points must be a vector, got shape {pts.shape}")
+        exponents = np.arange(degree, dtype=np.int64)[:, None]
+        table = self._exp[(exponents * self._log[pts][None, :]) % (self.order - 1)]
+        table[0, :] = 1
+        if degree > 1:
+            table[1:, pts == 0] = 0
+        return table
+
+    def poly_eval_many(
+        self, coefficients: np.ndarray, points: np.ndarray
+    ) -> np.ndarray:
+        """Evaluate a whole batch of polynomials at the same points.
+
+        ``coefficients`` has shape ``(batch, k)`` (lowest degree first,
+        one polynomial per row); the result has shape
+        ``(batch, len(points))`` and is element-identical to calling
+        :meth:`poly_eval` row by row — but instead of ``k`` Python-level
+        Horner steps per row it is a single :meth:`mul_matrix` against
+        the :meth:`power_table` of the evaluation points.
+        """
+        coeffs = self._check_array(coefficients)
+        if coeffs.ndim != 2:
+            raise CodingError(
+                f"coefficients must be a (batch, k) matrix, got shape "
+                f"{coeffs.shape}"
+            )
+        return self.mul_matrix(coeffs, self.power_table(points, coeffs.shape[1]))

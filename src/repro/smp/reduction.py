@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Tuple
 
 import numpy as np
@@ -33,7 +34,27 @@ from repro.core.gap import CentralizedTester
 from repro.distributions.base import DiscreteDistribution
 from repro.exceptions import CodingError, ParameterError
 from repro.rng import SeedLike, ensure_rng
+from repro.smp._validation import check_trials
 from repro.smp.codes import ConcatenatedCode
+
+
+@lru_cache(maxsize=8)
+def support_driver(size: int) -> DiscreteDistribution:
+    """The uniform inverse-CDF driver over ``size`` support points (cached).
+
+    Both players sample their support *through this distribution* rather
+    than via ``Generator.integers``: one invocation consumes exactly
+    ``count`` ``U[0, 1)`` doubles (``Generator.choice`` with a probability
+    vector is inverse-CDF sampling), so the whole protocol stream is
+    reproducible from
+    :meth:`~repro.distributions.base.DiscreteDistribution.sample_uniform`
+    draws plus
+    :meth:`~repro.distributions.base.DiscreteDistribution.index_quantiles`
+    lookups — the split the SMP trial plane batches.
+    """
+    return DiscreteDistribution(
+        np.full(size, 1.0 / size), name=f"bcg-driver({size})"
+    )
 
 
 @dataclass(frozen=True)
@@ -71,16 +92,20 @@ class BCGMapping:
         return self._support(np.asarray(y), flip=True)
 
     def sample_alice(self, x: np.ndarray, count: int, rng: SeedLike = None) -> np.ndarray:
-        """``count`` i.i.d. samples from ``μ_X`` (uniform over its support)."""
+        """``count`` i.i.d. samples from ``μ_X`` (uniform over its support).
+
+        Drawn through :func:`support_driver` — ``count`` driver doubles,
+        inverse-CDF mapped — so the stream is replayable in batch.
+        """
         gen = ensure_rng(rng)
         support = self.alice_support(x)
-        return support[gen.integers(0, support.size, size=count)]
+        return support[support_driver(support.size).sample(count, gen)]
 
     def sample_bob(self, y: np.ndarray, count: int, rng: SeedLike = None) -> np.ndarray:
-        """``count`` i.i.d. samples from ``μ_Y``."""
+        """``count`` i.i.d. samples from ``μ_Y`` (same driver split)."""
         gen = ensure_rng(rng)
         support = self.bob_support(y)
-        return support[gen.integers(0, support.size, size=count)]
+        return support[support_driver(support.size).sample(count, gen)]
 
     def mixture_distribution(
         self, x: np.ndarray, y: np.ndarray
@@ -128,7 +153,10 @@ class TesterBasedEqualityProtocol:
         q = self.tester.samples_required
         alice_samples = self.mapping.sample_alice(x, q, gen)
         bob_samples = self.mapping.sample_bob(y, q, gen)
-        take_alice = gen.integers(0, 2, size=q).astype(bool)
+        # Fair coins drawn as doubles: the per-trial stream is then 3q
+        # U[0, 1) values (q Alice, q Bob, q referee), which the SMP trial
+        # plane reproduces with a single batched sample_uniform call.
+        take_alice = gen.random(q) < 0.5
         merged = np.where(take_alice, alice_samples, bob_samples)
         return self.tester.decide(merged)
 
@@ -136,11 +164,59 @@ class TesterBasedEqualityProtocol:
         self, x: np.ndarray, y: np.ndarray, trials: int, rng: SeedLike = None
     ) -> float:
         """Monte-Carlo acceptance rate on the input pair."""
-        if trials < 1:
-            raise ParameterError(f"trials must be >= 1, got {trials}")
+        trials = check_trials(trials)
         gen = ensure_rng(rng)
         accepted = 0
         for _ in range(trials):
             if self.run(x, y, gen):
                 accepted += 1
         return accepted / trials
+
+    def estimate_error(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        trials: int,
+        rng: SeedLike = None,
+        workers: int = 1,
+        fast_path: bool = True,
+        engine_check: float = 0.0,
+    ) -> float:
+        """Monte-Carlo error rate on ``(x, y)``: fraction of trials whose
+        referee verdict disagrees with the ground truth ``x == y``.
+
+        With a seed-like ``rng`` (``None`` or an int) the trials run on
+        the chunk-keyed trial engine; ``fast_path=True`` (the default)
+        routes them through the vectorised
+        :class:`~repro.smp.smp_plane.EqualityTrialRunner` — one batched
+        driver draw plus vectorised tester verdicts, bit-identical flags
+        per seed, with ``engine_check`` re-running that fraction of the
+        trials through the scalar :meth:`run` and raising
+        :class:`~repro.exceptions.SimulationError` on divergence.  A live
+        ``Generator`` keeps the legacy sequential loop (and requires
+        ``fast_path=False``).
+        """
+        trials = check_trials(trials)
+        if rng is None or isinstance(rng, (int, np.integer)):
+            from repro.smp.smp_plane import EqualityTrialRunner
+
+            runner = EqualityTrialRunner.for_reduction(
+                self, x, y, base_seed=0 if rng is None else int(rng)
+            )
+            if fast_path:
+                return runner.error_rate(
+                    trials, workers=workers, engine_check=engine_check
+                )
+            return runner.scalar_error_rate(trials, workers=workers)
+        if fast_path:
+            raise ParameterError(
+                "fast_path needs a seed-like rng (None or int): the trial "
+                "plane replays chunk-keyed streams, not a shared Generator"
+            )
+        gen = ensure_rng(rng)
+        equal = bool(np.array_equal(np.asarray(x), np.asarray(y)))
+        errors = 0
+        for _ in range(trials):
+            if self.run(x, y, gen) != equal:
+                errors += 1
+        return errors / trials

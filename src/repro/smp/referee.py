@@ -37,14 +37,19 @@ import numpy as np
 
 from repro.core.baselines import CollisionCountTester
 from repro.distributions.base import DiscreteDistribution
-from repro.distributions.distances import l1_distance_to_uniform
 from repro.exceptions import ParameterError
 from repro.rng import SeedLike, ensure_rng
+from repro.smp._validation import check_trials
 
 #: Conservative constant in the contraction law eps' = KAPPA * eps * sqrt(B/n).
 #: Validated by tests on the certified far families (the measured mean
 #: contraction constant is ~= 0.75-0.80 for Paninski-type deviations).
 CONTRACTION_KAPPA = 0.5
+
+#: Exact-enumeration cap for :func:`expected_induced_distance`: below this
+#: many distinct balanced partitions the expectation is computed in closed
+#: form over all of them instead of by Monte-Carlo sampling.
+ENUMERATION_LIMIT = 20_000
 
 
 def random_balanced_partition(
@@ -76,25 +81,121 @@ def induced_distribution(
     return DiscreteDistribution(probs, name=f"induced({mu.name},B={buckets})")
 
 
+def _balanced_sizes(n: int, buckets: int) -> np.ndarray:
+    """Bucket sizes of a balanced assignment (the multiset every random
+    balanced partition realises)."""
+    sizes = np.full(buckets, n // buckets, dtype=np.int64)
+    sizes[: n % buckets] += 1
+    return sizes
+
+
+def balanced_partition_count(n: int, buckets: int) -> int:
+    """Number of distinct balanced assignments ``[n] → [buckets]``: the
+    multinomial coefficient ``n! / ∏ sizes!``."""
+    total, remaining = 1, n
+    for s in _balanced_sizes(n, buckets):
+        total *= math.comb(remaining, int(s))
+        remaining -= int(s)
+    return total
+
+
+def enumerate_balanced_partitions(n: int, buckets: int) -> np.ndarray:
+    """All balanced assignments ``[n] → [buckets]`` as a ``(count, n)``
+    matrix, in lexicographic order.
+
+    Refuses (``ParameterError``) above :data:`ENUMERATION_LIMIT`
+    assignments — the cap under which full enumeration is cheaper than
+    any sampling error is worth.
+    """
+    if buckets < 2 or buckets > n:
+        raise ParameterError(f"need 2 <= buckets <= n, got B={buckets}, n={n}")
+    count = balanced_partition_count(n, buckets)
+    if count > ENUMERATION_LIMIT:
+        raise ParameterError(
+            f"{count} balanced partitions exceed the enumeration limit "
+            f"{ENUMERATION_LIMIT}; use the sampled estimator"
+        )
+    remaining = _balanced_sizes(n, buckets)
+    out = np.empty((count, n), dtype=np.int64)
+    assignment = np.empty(n, dtype=np.int64)
+    row = 0
+
+    def fill(pos: int) -> None:
+        nonlocal row
+        if pos == n:
+            out[row] = assignment
+            row += 1
+            return
+        for b in range(buckets):
+            if remaining[b]:
+                remaining[b] -= 1
+                assignment[pos] = b
+                fill(pos + 1)
+                remaining[b] += 1
+
+    fill(0)
+    return out
+
+
+def _partition_distances(
+    mu: DiscreteDistribution, partitions: np.ndarray, buckets: int
+) -> np.ndarray:
+    """``‖μ_B − U_B‖₁`` for every row of a partition matrix, via one
+    flat-index ``bincount`` scatter."""
+    rows = partitions.shape[0]
+    idx = partitions + buckets * np.arange(rows, dtype=np.int64)[:, None]
+    weights = np.broadcast_to(mu.probs, partitions.shape)
+    induced = np.bincount(
+        idx.reshape(-1), weights=weights.reshape(-1), minlength=rows * buckets
+    ).reshape(rows, buckets)
+    return np.abs(induced - 1.0 / buckets).sum(axis=1)
+
+
 def expected_induced_distance(
     mu: DiscreteDistribution,
     buckets: int,
     trials: int,
     rng: SeedLike = None,
+    method: str = "auto",
 ) -> Tuple[float, float]:
-    """Monte-Carlo mean and min of ``‖μ_B − U_B‖₁`` over random partitions.
+    """Mean and min of ``‖μ_B − U_B‖₁`` over balanced partitions.
 
     Used to validate the √(B/n) contraction law and to calibrate
-    :data:`CONTRACTION_KAPPA`.
+    :data:`CONTRACTION_KAPPA`.  With ``method="exact"`` the mean and min
+    are computed over *all* balanced partitions (exact expectation, no
+    Monte-Carlo noise, ``trials`` ignored beyond validation); with
+    ``method="sampled"`` over ``trials`` random partitions drawn in
+    vectorised batches.  The default ``"auto"`` picks exact whenever the
+    partition count fits under :data:`ENUMERATION_LIMIT`.
     """
-    if trials < 1:
-        raise ParameterError(f"trials must be >= 1, got {trials}")
+    trials = check_trials(trials)
+    if method not in ("auto", "exact", "sampled"):
+        raise ParameterError(
+            f"method must be 'auto', 'exact' or 'sampled', got {method!r}"
+        )
+    if buckets < 2 or buckets > mu.n:
+        raise ParameterError(
+            f"need 2 <= buckets <= n, got B={buckets}, n={mu.n}"
+        )
+    if method == "auto":
+        exact = balanced_partition_count(mu.n, buckets) <= ENUMERATION_LIMIT
+        method = "exact" if exact else "sampled"
+    if method == "exact":
+        partitions = enumerate_balanced_partitions(mu.n, buckets)
+        distances = _partition_distances(mu, partitions, buckets)
+        return float(distances.mean()), float(distances.min())
     gen = ensure_rng(rng)
-    distances = []
-    for _ in range(trials):
-        partition = random_balanced_partition(mu.n, buckets, gen)
-        distances.append(l1_distance_to_uniform(induced_distribution(mu, partition)))
-    return float(np.mean(distances)), float(np.min(distances))
+    base = np.arange(mu.n, dtype=np.int64) % buckets
+    chunk_cap = max(1, (1 << 20) // mu.n)
+    total, best, done = 0.0, math.inf, 0
+    while done < trials:
+        chunk = min(chunk_cap, trials - done)
+        partitions = gen.permuted(np.tile(base, (chunk, 1)), axis=1)
+        distances = _partition_distances(mu, partitions, buckets)
+        total += float(distances.sum())
+        best = min(best, float(distances.min()))
+        done += chunk
+    return total / trials, best
 
 
 @dataclass(frozen=True)
@@ -188,8 +289,7 @@ class RefereeProtocol:
     ) -> float:
         """Monte-Carlo error rate over full executions (fresh public coins
         every trial)."""
-        if trials < 1:
-            raise ParameterError(f"trials must be >= 1, got {trials}")
+        trials = check_trials(trials)
         gen = ensure_rng(rng)
         errors = 0
         for _ in range(trials):

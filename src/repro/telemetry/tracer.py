@@ -46,15 +46,16 @@ MANIFEST_SCHEMA = "repro-manifest/v1"
 
 #: Execution routes a manifest may declare.  ``engine-cold`` is the full
 #: protocol (the measurement of record), ``engine-warm`` the cached
-#: tree-schedule start, ``trial-plane`` / ``fault-plane`` the vectorised
-#: replays, ``zero-round`` the simulator-free testers, ``solve`` a
-#: parameter-only run with no execution, ``mixed`` a run touching
-#: several routes.
+#: tree-schedule start, ``trial-plane`` / ``fault-plane`` / ``smp-plane``
+#: the vectorised replays, ``zero-round`` the simulator-free testers,
+#: ``solve`` a parameter-only run with no execution, ``mixed`` a run
+#: touching several routes.
 ROUTES = (
     "engine-cold",
     "engine-warm",
     "trial-plane",
     "fault-plane",
+    "smp-plane",
     "zero-round",
     "solve",
     "mixed",

@@ -100,6 +100,16 @@ class TestSampling:
         m = uniform(20).sample_matrix(4, 6, rng=2)
         assert m.shape == (4, 6)
 
+    def test_sample_uniform_matrix_pinned_to_sample_matrix(self):
+        d = DiscreteDistribution([0.5, 0.25, 0.25])
+        u = d.sample_uniform_matrix(4, 6, rng=2)
+        assert u.shape == (4, 6)
+        assert np.array_equal(d.index_quantiles(u), d.sample_matrix(4, 6, rng=2))
+
+    def test_sample_uniform_matrix_negative_raises(self):
+        with pytest.raises(ValueError):
+            uniform(10).sample_uniform_matrix(-1, 3)
+
     def test_sample_frequencies_converge(self):
         d = DiscreteDistribution([0.7, 0.3])
         s = d.sample(20_000, rng=3)

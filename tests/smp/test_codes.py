@@ -112,3 +112,47 @@ class TestConcatenatedCode:
         big = ConcatenatedCode.for_message_bits(1024)
         assert big.message_bits >= 1024
         assert big.relative_distance > 0.05
+
+
+class TestBatchedEncoding:
+    """``encode_many`` is pinned codeword-for-codeword to ``encode``
+    (the smp-plane encode contract)."""
+
+    def test_rs_encode_many_matches_encode(self):
+        rs = ReedSolomonCode(field=GF(8), n_sym=40, k_sym=20)
+        rng = np.random.default_rng(5)
+        messages = rng.integers(0, 256, size=(6, 20))
+        batched = rs.encode_many(messages)
+        for i, msg in enumerate(messages):
+            assert np.array_equal(batched[i], rs.encode(msg))
+
+    def test_rs_encode_many_shape_validated(self):
+        rs = ReedSolomonCode(field=GF(8), n_sym=40, k_sym=20)
+        with pytest.raises(CodingError):
+            rs.encode_many(np.zeros((2, 19), dtype=np.int64))
+
+    @pytest.mark.parametrize("q,bits", [(3, 12), (4, 32), (8, 128)])
+    def test_concatenated_encode_many_matches_encode(self, q, bits):
+        code = ConcatenatedCode.for_message_bits(bits, q=q)
+        rng = np.random.default_rng(q)
+        rows = rng.integers(0, 2, size=(5, bits))
+        batched = code.encode_many(rows)
+        for i, row in enumerate(rows):
+            assert np.array_equal(batched[i], code.encode(row))
+
+    def test_concatenated_encode_many_pads_short_rows(self):
+        code = ConcatenatedCode.for_message_bits(32, q=4)
+        rows = np.array([[1, 0, 1]])
+        assert np.array_equal(code.encode_many(rows)[0],
+                              code.encode(rows[0]))
+
+    def test_concatenated_encode_many_binary_enforced(self):
+        code = ConcatenatedCode.for_message_bits(32, q=4)
+        with pytest.raises(CodingError):
+            code.encode_many(np.array([[0, 2, 1]]))
+
+    def test_for_message_bits_rejects_non_integer(self):
+        with pytest.raises(CodingError):
+            ConcatenatedCode.for_message_bits(12.5)
+        with pytest.raises(CodingError):
+            ConcatenatedCode.for_message_bits(True)

@@ -101,3 +101,51 @@ class TestCorrectness:
         bob = TorusChunkMessage(row=t, col=1, bits=tuple([1] * t))
         # Bob's row (t) is outside Alice's [0, t); no crossing.
         assert proto.referee(alice, bob)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("trials", [0, -1, 2.5, True])
+    def test_estimate_rejection_trials_validated(self, proto, inputs, trials):
+        x, y = inputs
+        with pytest.raises(ParameterError, match="trials"):
+            proto.estimate_rejection(x, y, trials=trials)
+
+    @pytest.mark.parametrize("trials", [0, -1, 2.5, True])
+    def test_estimate_error_trials_validated(self, proto, inputs, trials):
+        x, y = inputs
+        with pytest.raises(ParameterError, match="trials"):
+            proto.estimate_error(x, y, trials=trials)
+
+    @pytest.mark.parametrize("n_bits", [0, -4, 3.5, True])
+    def test_build_n_bits_validated(self, n_bits):
+        with pytest.raises(ParameterError, match="n_bits"):
+            EqualityProtocol.build(n_bits=n_bits, delta=DELTA, tau=TAU)
+
+
+class TestEstimateError:
+    def test_fast_path_matches_scalar(self, proto, inputs):
+        x, y = inputs
+        fast = proto.estimate_error(x, y, trials=200, rng=9, fast_path=True)
+        slow = proto.estimate_error(x, y, trials=200, rng=9, fast_path=False)
+        assert fast == slow
+
+    def test_engine_check_passes_on_honest_plane(self, proto, inputs):
+        x, y = inputs
+        err = proto.estimate_error(
+            x, y, trials=50, rng=1, fast_path=True, engine_check=1.0
+        )
+        assert 0.0 <= err <= 1.0
+
+    def test_generator_rng_rejects_fast_path(self, proto, inputs):
+        x, y = inputs
+        gen = np.random.default_rng(0)
+        with pytest.raises(ParameterError, match="seed-like"):
+            proto.estimate_error(x, y, trials=10, rng=gen, fast_path=True)
+
+    def test_generator_rng_takes_legacy_loop(self, proto, inputs):
+        x, _ = inputs
+        gen = np.random.default_rng(0)
+        err = proto.estimate_error(
+            x, x.copy(), trials=20, rng=gen, fast_path=False
+        )
+        assert err == 0.0  # perfect completeness

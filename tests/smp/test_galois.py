@@ -102,3 +102,51 @@ class TestConstruction:
     def test_supported_sizes(self):
         for q in (2, 3, 4, 8):
             assert GF(q).order == 1 << q
+
+
+class TestBatchedKernels:
+    """The batched GF kernels are pinned element-identical to the
+    scalar ops they replace (the smp-plane encode contract)."""
+
+    @pytest.mark.parametrize("q", [3, 4, 8])
+    def test_poly_eval_many_matches_horner(self, q):
+        gf = GF(q)
+        rng = np.random.default_rng(q)
+        coeffs = rng.integers(0, gf.order, size=(5, 7))
+        points = np.arange(gf.order)
+        batched = gf.poly_eval_many(coeffs, points)
+        for i, row in enumerate(coeffs):
+            for j, p in enumerate(points):
+                assert batched[i, j] == gf.poly_eval(row, int(p))
+
+    def test_power_table_matches_pow(self, gf8):
+        points = np.arange(gf8.order)
+        table = gf8.power_table(points, 6)
+        for i in range(6):
+            for j, p in enumerate(points):
+                assert table[i, j] == gf8.pow(int(p), i)
+
+    def test_power_table_zero_conventions(self, gf4):
+        table = gf4.power_table(np.array([0]), 3)
+        assert table[:, 0].tolist() == [1, 0, 0]  # 0^0 = 1, 0^i = 0
+
+    def test_mul_matrix_matches_mul(self, gf4):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, gf4.order, size=(3, 4))
+        b = rng.integers(0, gf4.order, size=(4, 5))
+        got = gf4.mul_matrix(a, b)
+        for i in range(3):
+            for j in range(5):
+                acc = 0
+                for t in range(4):
+                    acc ^= gf4.mul(int(a[i, t]), int(b[t, j]))
+                assert got[i, j] == acc
+
+    def test_mul_matrix_shape_validated(self, gf4):
+        with pytest.raises(CodingError):
+            gf4.mul_matrix(np.zeros((2, 3), dtype=np.int64),
+                           np.zeros((4, 2), dtype=np.int64))
+
+    def test_element_range_checked_in_batch(self, gf4):
+        with pytest.raises(CodingError):
+            gf4.poly_eval_many(np.array([[0, gf4.order]]), np.array([1]))

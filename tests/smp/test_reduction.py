@@ -8,6 +8,7 @@ import pytest
 from repro.core import CollisionGapTester
 from repro.core.baselines import CollisionCountTester
 from repro.distributions import l1_distance_to_uniform
+from repro.exceptions import ParameterError
 from repro.smp import BCGMapping, ConcatenatedCode, TesterBasedEqualityProtocol
 
 N_BITS = 128
@@ -96,3 +97,53 @@ class TestProtocol:
         acc_neq = proto.estimate_acceptance(x, y, trials=60, rng=5)
         assert acc_eq >= 2 / 3
         assert acc_neq <= 1 / 3
+
+
+class TestValidationAndEstimateError:
+    @pytest.fixture(scope="class")
+    def proto(self, mapping):
+        tester = CollisionGapTester.from_delta(mapping.domain_size, 0.25)
+        return TesterBasedEqualityProtocol(mapping=mapping, tester=tester)
+
+    @pytest.mark.parametrize("trials", [0, -1, 2.5, True])
+    def test_estimate_acceptance_trials_validated(self, proto, inputs, trials):
+        x, y = inputs
+        with pytest.raises(ParameterError, match="trials"):
+            proto.estimate_acceptance(x, y, trials=trials)
+
+    @pytest.mark.parametrize("trials", [0, -1, 2.5, True])
+    def test_estimate_error_trials_validated(self, proto, inputs, trials):
+        x, y = inputs
+        with pytest.raises(ParameterError, match="trials"):
+            proto.estimate_error(x, y, trials=trials)
+
+    def test_fast_path_matches_scalar(self, proto, inputs):
+        x, y = inputs
+        fast = proto.estimate_error(x, y, trials=150, rng=9, fast_path=True)
+        slow = proto.estimate_error(x, y, trials=150, rng=9, fast_path=False)
+        assert fast == slow
+
+    def test_engine_check_passes_on_honest_plane(self, proto, inputs):
+        x, _ = inputs
+        err = proto.estimate_error(
+            x, x.copy(), trials=40, rng=2, fast_path=True, engine_check=1.0
+        )
+        assert 0.0 <= err <= 1.0
+
+    def test_generator_rng_rejects_fast_path(self, proto, inputs):
+        x, y = inputs
+        gen = np.random.default_rng(0)
+        with pytest.raises(ParameterError, match="seed-like"):
+            proto.estimate_error(x, y, trials=10, rng=gen, fast_path=True)
+
+    def test_driver_split_pinned_to_choice(self, mapping, inputs):
+        """`sample_alice` must keep consuming the generator exactly like
+        `Generator.choice` (the stream contract the plane relies on)."""
+        from repro.smp.reduction import support_driver
+
+        x, _ = inputs
+        driver = support_driver(mapping.domain_size // 2)
+        u = driver.sample_uniform(64, rng=11)
+        assert np.array_equal(
+            driver.index_quantiles(u), driver.sample(64, rng=11)
+        )

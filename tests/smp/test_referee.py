@@ -11,6 +11,7 @@ from repro.distributions import far_family, uniform
 from repro.exceptions import ParameterError
 from repro.smp import (
     RefereeProtocol,
+    enumerate_balanced_partitions,
     expected_induced_distance,
     induced_distribution,
     random_balanced_partition,
@@ -113,3 +114,76 @@ class TestRefereeProtocol:
         proto = RefereeProtocol(n=N, eps=EPS, message_bits=8, players=10)
         with pytest.raises(ParameterError):
             proto.run(uniform(N + 1), rng=0)
+
+
+class TestInducedDistanceEstimators:
+    """Exact enumeration vs the batched sampler (the E13 contraction
+    measurement's two routes)."""
+
+    def test_enumeration_shape_and_balance(self):
+        parts = enumerate_balanced_partitions(6, 3)
+        assert parts.shape == (90, 6)  # 6!/(2!2!2!) = 90
+        counts = np.stack([(parts == b).sum(axis=1) for b in range(3)])
+        assert np.all(counts == 2)
+
+    def test_enumeration_rows_unique(self):
+        parts = enumerate_balanced_partitions(6, 2)
+        assert len({tuple(row) for row in parts}) == parts.shape[0]
+
+    def test_enumeration_refuses_above_limit(self):
+        with pytest.raises(ParameterError, match="enumeration limit"):
+            enumerate_balanced_partitions(30, 5)
+
+    def test_exact_matches_sampled(self):
+        """The sampled estimator must converge to the exact expectation."""
+        mu = far_family("paninski", 8, 0.9, rng=0)
+        exact_mean, exact_min = expected_induced_distance(
+            mu, 2, trials=1, method="exact"
+        )
+        samp_mean, samp_min = expected_induced_distance(
+            mu, 2, trials=40_000, rng=1, method="sampled"
+        )
+        assert samp_mean == pytest.approx(exact_mean, abs=0.01)
+        assert samp_min >= exact_min - 1e-12
+
+    def test_sampled_matches_scalar_shuffle_loop(self):
+        """The batched ``permuted`` sampler draws the same marginal as
+        the historical one-shuffle-per-trial loop."""
+        mu = far_family("paninski", 10, 0.9, rng=0)
+        batched_mean, _ = expected_induced_distance(
+            mu, 2, trials=20_000, rng=2, method="sampled"
+        )
+        gen = np.random.default_rng(3)
+        base = np.arange(10, dtype=np.int64) % 2
+        total = 0.0
+        for _ in range(20_000):
+            part = base.copy()
+            gen.shuffle(part)
+            induced = np.bincount(part, weights=mu.probs, minlength=2)
+            total += float(np.abs(induced - 0.5).sum())
+        assert batched_mean == pytest.approx(total / 20_000, abs=0.01)
+
+    def test_auto_picks_exact_when_enumerable(self):
+        """Under the limit, auto must return the deterministic exact
+        value regardless of rng."""
+        mu = far_family("paninski", 8, 0.9, rng=0)
+        a = expected_induced_distance(mu, 2, trials=10, rng=1)
+        b = expected_induced_distance(mu, 2, trials=10, rng=999)
+        assert a == b
+
+    def test_method_validated(self):
+        mu = far_family("paninski", 8, 0.9, rng=0)
+        with pytest.raises(ParameterError, match="method"):
+            expected_induced_distance(mu, 2, trials=10, method="bogus")
+
+    @pytest.mark.parametrize("trials", [0, -3, 2.5, True])
+    def test_trials_validated(self, trials):
+        mu = far_family("paninski", 8, 0.9, rng=0)
+        with pytest.raises(ParameterError, match="trials"):
+            expected_induced_distance(mu, 2, trials=trials)
+
+    def test_estimate_error_trials_validated(self):
+        proto = RefereeProtocol(n=16, eps=0.9, message_bits=2, players=20)
+        mu = far_family("paninski", 16, 0.9, rng=0)
+        with pytest.raises(ParameterError, match="trials"):
+            proto.estimate_error(mu, False, trials=0)

@@ -312,3 +312,53 @@ class TestTracing:
         err = capsys.readouterr().err
         assert code == 2
         assert "error:" in err
+
+
+class TestSmpCommand:
+    ARGS = ["smp", "--n-bits", "32", "--trials", "40", "--seed", "0"]
+
+    def test_fast_path_prints_tables(self, capsys):
+        code = main(self.ARGS)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "codeword bits" in out
+        assert "smp plane" in out
+        assert "error rate" in out
+
+    def test_engine_route_agrees(self, capsys):
+        assert main(self.ARGS) == 0
+        fast = capsys.readouterr().out
+        assert main(self.ARGS + ["--engine"]) == 0
+        engine = capsys.readouterr().out
+        # Same seeds, same streams: the error-rate tables must match.
+        assert fast.split("measured over")[1].splitlines()[1:] == \
+            engine.split("measured over")[1].splitlines()[1:]
+        assert "scalar protocol" in engine
+
+    def test_engine_check_fraction_accepted(self, capsys):
+        code = main(self.ARGS + ["--engine-check", "0.5"])
+        assert code == 0
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("argv,msg", [
+        (["smp", "--trials", "0"], "--trials"),
+        (["smp", "--n-bits", "0"], "--n-bits"),
+        (["smp", "--delta", "1.5"], "--delta"),
+        (["smp", "--tau", "1.0"], "--tau"),
+        (["smp", "--engine-check", "2.0"], "--engine-check"),
+    ])
+    def test_invalid_parameters_exit_2(self, capsys, argv, msg):
+        code = main(argv)
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err and msg in err
+
+    def test_trace_reports_smp_plane_route(self, capsys, tmp_path):
+        trace = tmp_path / "smp.jsonl"
+        code = main(self.ARGS + ["--trace", str(trace)])
+        capsys.readouterr()
+        assert code == 0
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "smp-plane" in out
+        assert "smp_plane.encode" in out

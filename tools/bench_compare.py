@@ -1,7 +1,8 @@
 """Regression gate: diff a fresh benchmark run against committed numbers.
 
 Collects every ``*_seconds`` field from the committed ``BENCH_trials.json``,
-``BENCH_protocol.json``, and ``BENCH_robustness.json`` payloads and from a
+``BENCH_protocol.json``, ``BENCH_robustness.json``, and ``BENCH_smp.json``
+payloads and from a
 freshly generated run of the same benchmarks, normalises each timing by
 the trial/repeat count in scope (so a ``--smoke`` run is comparable to
 the committed full run), and fails when any shared field got slower by
@@ -159,12 +160,17 @@ def main(argv=None) -> int:
     parser.add_argument("--fresh-robustness", type=pathlib.Path, default=None,
                         help="fresh bench_robustness payload; reused if it "
                              "exists, generated there otherwise")
+    parser.add_argument("--fresh-smp", type=pathlib.Path, default=None,
+                        help="fresh bench_smp payload; reused if it exists, "
+                             "generated there otherwise")
     parser.add_argument("--committed-trials", type=pathlib.Path,
                         default=ROOT / "BENCH_trials.json")
     parser.add_argument("--committed-protocol", type=pathlib.Path,
                         default=ROOT / "BENCH_protocol.json")
     parser.add_argument("--committed-robustness", type=pathlib.Path,
                         default=ROOT / "BENCH_robustness.json")
+    parser.add_argument("--committed-smp", type=pathlib.Path,
+                        default=ROOT / "BENCH_smp.json")
     args = parser.parse_args(argv)
 
     tolerance = args.tolerance
@@ -182,6 +188,7 @@ def main(argv=None) -> int:
              args.fresh_protocol),
             ("robustness", "bench_robustness.py", args.committed_robustness,
              args.fresh_robustness),
+            ("smp", "bench_smp.py", args.committed_smp, args.fresh_smp),
         ):
             if not committed_path.exists():
                 print(f"[{label}] no committed payload at {committed_path}; "

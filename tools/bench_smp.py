@@ -1,0 +1,269 @@
+"""Time the SMP lower-bound plane against the scalar Section 7 protocols.
+
+One fixed workload (E17): the Lemma 7.3 torus Equality protocol and the
+Theorem 7.1 BCG reduction at the default CLI parameters (256-bit inputs,
+δ=0.05, τ=2.0 → a 1024-bit concatenated codeword, torus side 32, BCG
+domain 2048).  Each protocol runs two Monte-Carlo sweeps (``x = y`` and
+``x ≠ y``, the single-bit-flip pair) through two bit-equivalent routes:
+
+- **scalar**: the full per-trial ``run()`` — re-encoding, per-sample
+  loops, scalar referee — on the chunk-keyed trial streams.
+- **smp plane**: :class:`repro.smp.EqualityTrialRunner` — encode once via
+  the batched GF power-table kernels, then replay whole trial batches
+  with array ops.
+
+Both routes consume identical streams, so the per-trial error flags must
+agree bit for bit; the script exits non-zero if they do not.  The trial
+count is fixed across smoke and full runs so every ``*_seconds`` field
+normalises identically in ``bench_compare``'s per-trial gate.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_smp.py            # full run
+    PYTHONPATH=src python tools/bench_smp.py --smoke    # CI run
+
+Writes ``BENCH_smp.json`` (override with ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.collision import CollisionGapTester  # noqa: E402
+from repro.rng import ensure_rng  # noqa: E402
+from repro.smp import (  # noqa: E402
+    BCGMapping,
+    EqualityProtocol,
+    EqualityTrialRunner,
+    TesterBasedEqualityProtocol,
+)
+from repro.telemetry import Tracer, span_seconds_fields, tracing  # noqa: E402
+
+BASE_SEED = 2018  # PODC year; any fixed value works
+
+# E17 workload: the default `repro smp` parameters.  The trial count is
+# fixed across smoke and full runs so every *_seconds field normalises
+# identically in ``bench_compare``'s per-trial gate.
+E17_N_BITS = 256
+E17_DELTA = 0.05
+E17_TAU = 2.0
+E17_TRIALS = 2048
+
+
+def _input_pair(n_bits: int):
+    """The bench input pair: random ``x``, and ``y`` one bit-flip away —
+    the hardest unequal instance for a distance-based protocol."""
+    gen = ensure_rng(BASE_SEED)
+    x = gen.integers(0, 2, size=n_bits)
+    y = x.copy()
+    y[0] ^= 1
+    return x, y
+
+
+def _bench_runners(label: str, build_runner, trials: int,
+                   extra: dict) -> dict:
+    """Scalar-vs-plane timing for one protocol's two sweeps.
+
+    ``build_runner(a, b, seed)`` must return an
+    :class:`~repro.smp.EqualityTrialRunner`; the encode phase is timed
+    once per sweep (``encode_seconds``), the scalar route once, and the
+    plane route as the best of five steady-state passes.
+    """
+    x, y = _input_pair(E17_N_BITS)
+    sweep_inputs = (("equal", x, x, 1), ("unequal", x, y, 2))
+
+    start = time.perf_counter()
+    runners = {
+        name: build_runner(a, b, BASE_SEED + offset)
+        for name, a, b, offset in sweep_inputs
+    }
+    t_encode = time.perf_counter() - start
+
+    scalar_flags = {}
+    t_scalar = 0.0
+    for name, runner in runners.items():
+        start = time.perf_counter()
+        scalar_flags[name] = runner.scalar_flags(trials)
+        t_scalar += time.perf_counter() - start
+
+    t_fast = float("inf")
+    for _ in range(5):  # steady state: best of a few passes
+        start = time.perf_counter()
+        fast_flags = {
+            name: runner.run_flags(trials)
+            for name, runner in runners.items()
+        }
+        t_fast = min(t_fast, time.perf_counter() - start)
+    identical = all(
+        np.array_equal(fast_flags[name], scalar_flags[name])
+        for name in runners
+    )
+
+    total_trials = trials * len(runners)
+    speedup = t_scalar / t_fast
+    print(f"E17 {label} plane  n_bits={E17_N_BITS} trials={trials}x"
+          f"{len(runners)}")
+    print(f"  batched encode      : {t_encode * 1000:7.1f} ms (once per "
+          f"input pair)")
+    print(f"  scalar protocol     : {t_scalar:7.3f} s "
+          f"({t_scalar / total_trials * 1000:6.3f} ms/trial)")
+    print(f"  smp-plane trials    : {t_fast:7.3f} s "
+          f"({t_fast / total_trials * 1000:6.3f} ms/trial)  [{speedup:.0f}x]")
+    print(f"  flags identical     : {identical}")
+
+    return {
+        "n_bits": E17_N_BITS,
+        "delta": E17_DELTA,
+        "tau": E17_TAU,
+        **extra,
+        "trials": trials,
+        "sweeps": len(runners),
+        "encode_seconds": round(t_encode, 5),
+        "scalar_seconds": round(t_scalar, 4),
+        "fast_seconds": round(t_fast, 6),
+        "speedup_vs_scalar": round(speedup, 1),
+        "err_equal": float(np.mean(scalar_flags["equal"])),
+        "err_unequal": float(np.mean(scalar_flags["unequal"])),
+        "bit_identical": identical,
+        "equivalent": identical,
+    }
+
+
+def _build_protocols():
+    torus = EqualityProtocol.build(E17_N_BITS, delta=E17_DELTA, tau=E17_TAU)
+    mapping = BCGMapping(code=torus.code)
+    tester = CollisionGapTester.from_delta(mapping.domain_size, E17_DELTA)
+    bcg = TesterBasedEqualityProtocol(mapping=mapping, tester=tester)
+    return torus, bcg
+
+
+def bench_e17_torus(trials: int) -> dict:
+    torus, _ = _build_protocols()
+    result = _bench_runners(
+        "torus",
+        lambda a, b, seed: EqualityTrialRunner.for_torus(
+            torus, a, b, base_seed=seed
+        ),
+        trials,
+        {
+            "codeword_bits": torus.code.codeword_bits,
+            "side": torus.side,
+            "chunk_length": torus.chunk_length,
+            "bits_per_player": torus.communication_bits,
+        },
+    )
+    return result
+
+
+def bench_e17_bcg(trials: int) -> dict:
+    torus, bcg = _build_protocols()
+    result = _bench_runners(
+        "BCG",
+        lambda a, b, seed: EqualityTrialRunner.for_reduction(
+            bcg, a, b, base_seed=seed
+        ),
+        trials,
+        {
+            "codeword_bits": torus.code.codeword_bits,
+            "domain_size": bcg.mapping.domain_size,
+            "tester_samples_q": bcg.tester.samples_required,
+            "bits_per_player": bcg.communication_bits,
+        },
+    )
+    return result
+
+
+def trace_phase_breakdown() -> dict:
+    """One traced plane pass per protocol, aggregated to ``*_seconds``.
+
+    A fixed small workload in both smoke and full runs (so the raw
+    timings stay comparable); everything timed above runs untraced,
+    keeping the committed numbers a gate on the tracing-off overhead.
+    The ``engine_check`` prefix exercises the scalar cross-check span.
+    """
+    torus, bcg = _build_protocols()
+    x, y = _input_pair(E17_N_BITS)
+    trials = 256
+    with tracing(Tracer()) as tracer:
+        EqualityTrialRunner.for_torus(
+            torus, x, y, base_seed=BASE_SEED
+        ).run_flags(trials, engine_check=0.05)
+        EqualityTrialRunner.for_reduction(
+            bcg, x, y, base_seed=BASE_SEED
+        ).run_flags(trials, engine_check=0.05)
+    return {"trials": trials, **span_seconds_fields(tracer.events)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--trials", type=int, default=E17_TRIALS,
+                        help=f"Monte-Carlo trials per sweep (default "
+                             f"{E17_TRIALS}; fixed across smoke and full "
+                             f"runs so per-trial timings stay comparable)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI run: skip the benchmarks/results table")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=ROOT / "BENCH_smp.json",
+                        help="output JSON path "
+                             "(default repo-root BENCH_smp.json)")
+    args = parser.parse_args(argv)
+    if args.trials < 1:
+        parser.error(f"--trials must be >= 1, got {args.trials}")
+
+    print(f"smp-plane benchmark  cpu_count={os.cpu_count()}")
+    e17_torus = bench_e17_torus(args.trials)
+    e17_bcg = bench_e17_bcg(args.trials)
+
+    if not args.smoke:
+        from repro.experiments import Table
+
+        table = Table(
+            ["route", "seconds", "ms/trial", "speedup"],
+            title=f"E17 - SMP plane vs scalar Section 7 protocols "
+                  f"(n_bits={E17_N_BITS}, delta={E17_DELTA}, tau={E17_TAU}, "
+                  f"{args.trials} trials x 2 sweeps each)",
+        )
+        for label, block in (("torus", e17_torus), ("BCG", e17_bcg)):
+            total = block["trials"] * block["sweeps"]
+            table.add_row(
+                [f"{label} scalar", f"{block['scalar_seconds']:.3f}",
+                 f"{block['scalar_seconds'] / total * 1000:.3f}", "1x"])
+            table.add_row(
+                [f"{label} smp plane", f"{block['fast_seconds']:.4f}",
+                 f"{block['fast_seconds'] / total * 1000:.3f}",
+                 f"{block['speedup_vs_scalar']:.0f}x"])
+        results_dir = ROOT / "benchmarks" / "results"
+        results_dir.mkdir(parents=True, exist_ok=True)
+        (results_dir / "e17_smp_plane.txt").write_text(table.render() + "\n")
+
+    payload = {
+        "schema": "bench_smp/v1",
+        "smoke": bool(args.smoke),
+        "cpu_count": os.cpu_count(),
+        "base_seed": BASE_SEED,
+        "e17_torus": e17_torus,
+        "e17_bcg": e17_bcg,
+        "trace_phases": trace_phase_breakdown(),
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not (e17_torus["equivalent"] and e17_bcg["equivalent"]):
+        print("ERROR: smp plane disagrees with the scalar protocols — "
+              "bit-identity contract broken", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
